@@ -1,0 +1,308 @@
+// Benchmarks regenerating the paper's evaluation artifacts, one per table
+// and figure (plus the supporting lemma/theorem measurements). Each
+// benchmark runs a reduced-scale version of the corresponding experiment in
+// internal/experiments and reports the headline quantity as a custom
+// metric; cmd/paperbench runs the full-scale versions.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package popelect
+
+import (
+	"math"
+	"testing"
+
+	"popelect/internal/core"
+	"popelect/internal/epidemic"
+	"popelect/internal/experiments"
+	"popelect/internal/phaseclock"
+	"popelect/internal/protocols/gs18"
+	"popelect/internal/protocols/lottery"
+	"popelect/internal/protocols/slow"
+	"popelect/internal/rng"
+	"popelect/internal/sim"
+	"popelect/internal/stats"
+)
+
+const benchN = 1 << 10
+
+// benchElect runs one full election per iteration and reports the mean
+// parallel time — the quantity in Table 1's time column.
+func benchElect[S comparable, P sim.Protocol[S]](b *testing.B, pr P) {
+	b.Helper()
+	var times []float64
+	for i := 0; i < b.N; i++ {
+		r := sim.NewRunner[S, P](pr, rng.New(uint64(i)+1))
+		res := r.Run()
+		if !res.Converged || res.Leaders != 1 {
+			b.Fatalf("iteration %d: %+v", i, res)
+		}
+		times = append(times, res.ParallelTime())
+	}
+	b.ReportMetric(stats.Mean(times), "parallel-time")
+}
+
+// --- Table 1: one benchmark per protocol row ---
+
+func BenchmarkTable1Slow(b *testing.B) {
+	p, _ := slow.New(benchN)
+	benchElect[uint32](b, p)
+}
+
+func BenchmarkTable1Lottery(b *testing.B) {
+	benchElect[uint32](b, lottery.MustNew(lottery.DefaultParams(benchN)))
+}
+
+func BenchmarkTable1GS18(b *testing.B) {
+	benchElect[uint32](b, gs18.MustNew(gs18.DefaultParams(benchN)))
+}
+
+func BenchmarkTable1GSU19(b *testing.B) {
+	benchElect[core.State](b, core.MustNew(core.DefaultParams(benchN)))
+}
+
+// --- Figure 1: coin level populations ---
+
+func BenchmarkFig1Coins(b *testing.B) {
+	pr := core.MustNew(core.DefaultParams(benchN))
+	phi := pr.Params().Phi
+	var junta []float64
+	for i := 0; i < b.N; i++ {
+		r := sim.NewRunner[core.State, *core.Protocol](pr, rng.New(uint64(i)+1))
+		if res := r.Run(); !res.Converged {
+			b.Fatalf("%+v", res)
+		}
+		cum := pr.CumulativeCoinCensus(r.Population())
+		junta = append(junta, float64(cum[phi]))
+	}
+	b.ReportMetric(stats.Mean(junta), "junta-size")
+}
+
+// --- Figure 2: fast elimination survivor counts ---
+
+func BenchmarkFig2FastElim(b *testing.B) {
+	pr := core.MustNew(core.DefaultParams(benchN))
+	var atFinal []float64
+	for i := 0; i < b.N; i++ {
+		r := sim.NewRunner[core.State, *core.Protocol](pr, rng.New(uint64(i)+1))
+		entry := -1.0
+		r.AddHook(func(step uint64, ri, ii int, oldR, oldI, newR, newI core.State) {
+			if entry < 0 && oldR.Role() == core.RoleL && newR.Role() == core.RoleL &&
+				newR.Cnt() == 0 && oldR.Cnt() == 1 {
+				entry = float64(r.Counts()[core.ClassActive])
+			}
+		})
+		if res := r.Run(); !res.Converged {
+			b.Fatalf("%+v", res)
+		}
+		if entry >= 0 {
+			atFinal = append(atFinal, entry)
+		}
+	}
+	if len(atFinal) > 0 {
+		b.ReportMetric(stats.Mean(atFinal), "actives-at-final-epoch")
+	}
+}
+
+// --- Figure 3: drag counter tick times ---
+
+func BenchmarkFig3Drag(b *testing.B) {
+	pr := core.MustNew(core.DefaultParams(benchN))
+	nln := float64(benchN) * math.Log(float64(benchN))
+	var t1 []float64
+	for i := 0; i < b.N; i++ {
+		r := sim.NewRunner[core.State, *core.Protocol](pr, rng.New(uint64(i)+1))
+		first := map[int]uint64{}
+		r.AddHook(func(step uint64, ri, ii int, oldR, oldI, newR, newI core.State) {
+			if oldR.Role() == core.RoleL && newR.Role() == core.RoleL &&
+				newR.LeaderDrag() > oldR.LeaderDrag() {
+				d := int(newR.LeaderDrag())
+				if _, ok := first[d]; !ok {
+					first[d] = step
+				}
+			}
+		})
+		if res := r.Run(); !res.Converged {
+			b.Fatalf("%+v", res)
+		}
+		// Observe the next tick past convergence if needed.
+		if _, ok := first[2]; !ok {
+			r.RunSteps(uint64(40 * nln))
+		}
+		if a, ok := first[1]; ok {
+			if c, ok2 := first[2]; ok2 {
+				t1 = append(t1, float64(c-a)/nln)
+			}
+		}
+	}
+	if len(t1) > 0 {
+		b.ReportMetric(stats.Mean(t1), "T1/(n·ln·n)")
+	}
+}
+
+// --- Lemma benchmarks ---
+
+func BenchmarkLemma41Init(b *testing.B) {
+	pr := core.MustNew(core.DefaultParams(benchN))
+	nln := float64(benchN) * math.Log(float64(benchN))
+	var uninit []float64
+	for i := 0; i < b.N; i++ {
+		r := sim.NewRunner[core.State, *core.Protocol](pr, rng.New(uint64(i)+1))
+		r.RunSteps(uint64(8 * nln))
+		uninit = append(uninit, float64(pr.UninitiatedCount(r.Population())))
+	}
+	b.ReportMetric(stats.Mean(uninit), "uninitiated")
+}
+
+func BenchmarkLemma53Junta(b *testing.B) {
+	BenchmarkFig1Coins(b)
+}
+
+func BenchmarkLemma71Drags(b *testing.B) {
+	pr := core.MustNew(core.DefaultParams(benchN))
+	var ratio []float64
+	for i := 0; i < b.N; i++ {
+		r := sim.NewRunner[core.State, *core.Protocol](pr, rng.New(uint64(i)+1))
+		if res := r.Run(); !res.Converged {
+			b.Fatalf("%+v", res)
+		}
+		drags := pr.InhibDragCensus(r.Population())
+		if len(drags) > 1 && drags[1] > 0 {
+			ratio = append(ratio, float64(drags[0])/float64(drags[1]))
+		}
+	}
+	if len(ratio) > 0 {
+		b.ReportMetric(stats.Mean(ratio), "D0/D1")
+	}
+}
+
+func BenchmarkLemma73FinalRounds(b *testing.B) {
+	pr := core.MustNew(core.DefaultParams(benchN))
+	nln := float64(benchN) * math.Log(float64(benchN))
+	var rounds []float64
+	for i := 0; i < b.N; i++ {
+		r := sim.NewRunner[core.State, *core.Protocol](pr, rng.New(uint64(i)+1))
+		var entry uint64
+		r.AddHook(func(step uint64, ri, ii int, oldR, oldI, newR, newI core.State) {
+			if entry == 0 && oldR.Role() == core.RoleL && newR.Role() == core.RoleL &&
+				newR.Cnt() == 0 && oldR.Cnt() == 1 {
+				entry = step
+			}
+		})
+		res := r.Run()
+		if !res.Converged {
+			b.Fatalf("%+v", res)
+		}
+		if entry > 0 {
+			// Rounds cost ≈ 7.5·n·ln n at Γ=36 (Theorem 3.2 bench).
+			rounds = append(rounds, float64(res.Interactions-entry)/(7.5*nln))
+		}
+	}
+	if len(rounds) > 0 {
+		b.ReportMetric(stats.Mean(rounds), "final-rounds")
+	}
+}
+
+// --- Theorem 3.2: clock round length ---
+
+func BenchmarkThm32Clock(b *testing.B) {
+	junta := int(math.Pow(float64(benchN), 0.7))
+	c, err := phaseclock.NewStandalone(benchN, 36, junta)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nln := float64(benchN) * math.Log(float64(benchN))
+	var perRound []float64
+	for i := 0; i < b.N; i++ {
+		r := sim.NewRunner[uint32, *phaseclock.Standalone](c, rng.New(uint64(i)+1))
+		total := uint64(30 * nln)
+		r.RunSteps(total)
+		minRounds := math.MaxInt32
+		for _, s := range r.Population() {
+			if rr := c.Rounds(s); rr < minRounds {
+				minRounds = rr
+			}
+		}
+		if minRounds > 0 {
+			perRound = append(perRound, float64(total)/float64(minRounds)/nln)
+		}
+	}
+	if len(perRound) > 0 {
+		b.ReportMetric(stats.Mean(perRound), "round/(n·ln·n)")
+	}
+}
+
+// --- Theorem 8.2: the headline scaling ---
+
+func BenchmarkThm82Scaling(b *testing.B) {
+	pr := core.MustNew(core.DefaultParams(benchN))
+	ln := math.Log(float64(benchN))
+	var norm []float64
+	for i := 0; i < b.N; i++ {
+		r := sim.NewRunner[core.State, *core.Protocol](pr, rng.New(uint64(i)+100))
+		res := r.Run()
+		if !res.Converged || res.Leaders != 1 {
+			b.Fatalf("%+v", res)
+		}
+		norm = append(norm, res.ParallelTime()/(ln*math.Log(ln)))
+	}
+	b.ReportMetric(stats.Mean(norm), "t/(lnn·lnlnn)")
+}
+
+// --- Substrate: one-way epidemic ---
+
+func BenchmarkEpidemic(b *testing.B) {
+	p, err := epidemic.New(benchN, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nln := float64(benchN) * math.Log(float64(benchN))
+	var norm []float64
+	for i := 0; i < b.N; i++ {
+		r := sim.NewRunner[uint32, *epidemic.Protocol](p, rng.New(uint64(i)+1))
+		res := r.Run()
+		if !res.Converged {
+			b.Fatalf("%+v", res)
+		}
+		norm = append(norm, float64(res.Interactions)/nln)
+	}
+	b.ReportMetric(stats.Mean(norm), "completion/(n·ln·n)")
+}
+
+// --- Ablations ---
+
+func BenchmarkAblationNoFastElim(b *testing.B) {
+	params := core.DefaultParams(benchN)
+	params.NoFastElim = true
+	benchElect[core.State](b, core.MustNew(params))
+}
+
+func BenchmarkAblationNoDrag(b *testing.B) {
+	params := core.DefaultParams(benchN)
+	params.NoDrag = true
+	benchElect[core.State](b, core.MustNew(params))
+}
+
+// --- Engine throughput (interactions/sec baseline for everything above) ---
+
+func BenchmarkEngineThroughput(b *testing.B) {
+	pr := core.MustNew(core.DefaultParams(1 << 16))
+	r := sim.NewRunner[core.State, *core.Protocol](pr, rng.New(1))
+	b.ResetTimer()
+	r.RunSteps(uint64(b.N))
+}
+
+// Smoke-check that the experiment registry powers cmd/paperbench.
+func BenchmarkPaperbenchSmoke(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		run, ok := experiments.Lookup("epidemic")
+		if !ok {
+			b.Fatal("registry broken")
+		}
+		tables := run(experiments.Config{Sizes: []int{512}, Trials: 2, Seed: uint64(i)})
+		if len(tables) == 0 || len(tables[0].Rows) == 0 {
+			b.Fatal("no output")
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Command leaderelect runs one leader election and reports the outcome.
+//
+// Usage:
+//
+//	leaderelect -n 100000 -alg gsu19 -seed 42 -v
+//
+// With -v it prints a census timeline: the sub-population sizes (coins,
+// inhibitors, active/passive/withdrawn candidates) sampled over the run,
+// which makes the three epochs of the paper visible in the terminal.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"popelect"
+	"popelect/internal/core"
+	"popelect/internal/rng"
+	"popelect/internal/sim"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 10000, "population size")
+		alg     = flag.String("alg", "gsu19", "algorithm: gsu19, gs18, lottery, slow")
+		seed    = flag.Uint64("seed", 1, "PRNG seed")
+		gamma   = flag.Int("gamma", 0, "phase clock resolution Γ (0 = default)")
+		phi     = flag.Int("phi", 0, "coin level cap Φ (0 = default)")
+		psi     = flag.Int("psi", 0, "drag range Ψ (0 = default)")
+		trials  = flag.Int("trials", 1, "number of independent runs")
+		verbose = flag.Bool("v", false, "print a census timeline (gsu19 only)")
+	)
+	flag.Parse()
+
+	if *verbose && *alg == "gsu19" {
+		if err := runVerbose(*n, *seed, *gamma, *phi, *psi); err != nil {
+			fmt.Fprintln(os.Stderr, "leaderelect:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	for t := 0; t < *trials; t++ {
+		opts := []popelect.Option{popelect.WithSeed(*seed + uint64(t))}
+		if *gamma != 0 {
+			opts = append(opts, popelect.WithGamma(*gamma))
+		}
+		if *phi != 0 {
+			opts = append(opts, popelect.WithPhi(*phi))
+		}
+		if *psi != 0 {
+			opts = append(opts, popelect.WithPsi(*psi))
+		}
+		res, err := popelect.ElectWith(popelect.Algorithm(*alg), *n, opts...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "leaderelect:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trial %d: leader = agent %d after %d interactions (parallel time %.1f)\n",
+			t, res.LeaderID, res.Interactions, res.ParallelTime)
+	}
+}
+
+func runVerbose(n int, seed uint64, gamma, phi, psi int) error {
+	params := core.DefaultParams(n)
+	if gamma != 0 {
+		params.Gamma = gamma
+	}
+	if phi != 0 {
+		params.Phi = phi
+	}
+	if psi != 0 {
+		params.Psi = psi
+	}
+	pr, err := core.New(params)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("protocol %s on n=%d agents (seed %d)\n\n", pr.Name(), n, seed)
+	r := sim.NewRunner[core.State, *core.Protocol](pr, rng.New(seed))
+
+	var stats core.RuleStats
+	r.AddHook(func(step uint64, ri, ii int, oldR, oldI, newR, newI core.State) {
+		stats.Record(oldR, oldI, newR, newI)
+	})
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "par.time\tuninit\tcoins\tinhib\tdead\tactive\tpassive\twithdrawn\tjunta\tstage")
+	sample := uint64(n) * 8
+	r.AddObserver(func(step uint64, pop []core.State) {
+		c := r.Counts()
+		stage := pr.MinLeaderCnt(pop)
+		fmt.Fprintf(w, "%.0f\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			float64(step)/float64(n),
+			c[core.ClassZero]+c[core.ClassX], c[core.ClassC], c[core.ClassI], c[core.ClassD],
+			c[core.ClassActive], c[core.ClassPassive], c[core.ClassWithdrawn],
+			pr.JuntaSize(pop), stage)
+	}, sample)
+	res := r.Run()
+	w.Flush()
+	fmt.Println()
+	if !res.Converged {
+		return fmt.Errorf("did not stabilize within %d interactions", res.Interactions)
+	}
+	fmt.Printf("leader = agent %d after %d interactions (parallel time %.1f)\n\n",
+		res.LeaderID, res.Interactions, res.ParallelTime())
+	fmt.Println("rule firings:")
+	if _, err := stats.WriteTo(os.Stdout); err != nil {
+		return err
+	}
+	return nil
+}

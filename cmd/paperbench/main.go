@@ -1,0 +1,89 @@
+// Command paperbench regenerates the paper's evaluation artifacts — Table 1
+// and Figures 1–3 plus the quantitative lemmas and theorems — by
+// simulation, printing one text table per artifact.
+//
+// Usage:
+//
+//	paperbench                         # run everything at default scale
+//	paperbench -exp table1,fig3        # selected experiments
+//	paperbench -sizes 1024,4096 -trials 5 -seed 1
+//	paperbench -list                   # list experiment ids
+//
+// The default scale matches EXPERIMENTS.md. Everything runs single-machine;
+// trials parallelize over cores.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"popelect/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		sizes  = flag.String("sizes", "", "comma-separated population sizes (default: experiment preset)")
+		trials = flag.Int("trials", 0, "trials per measurement point (default: preset)")
+		seed   = flag.Uint64("seed", 0, "base seed (default: preset)")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		smoke  = flag.Bool("smoke", false, "tiny configuration for a quick look")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Println(e.ID)
+		}
+		return
+	}
+
+	cfg := experiments.DefaultConfig()
+	if *smoke {
+		cfg = experiments.SmokeConfig()
+	}
+	if *sizes != "" {
+		cfg.Sizes = nil
+		for _, s := range strings.Split(*sizes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 2 {
+				fmt.Fprintf(os.Stderr, "paperbench: bad size %q\n", s)
+				os.Exit(2)
+			}
+			cfg.Sizes = append(cfg.Sizes, n)
+		}
+	}
+	if *trials > 0 {
+		cfg.Trials = *trials
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	var ids []string
+	if *exp == "all" {
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+
+	for _, id := range ids {
+		run, ok := experiments.Lookup(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "paperbench: unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		tables := run(cfg)
+		experiments.RenderAll(os.Stdout, tables)
+		fmt.Printf("(%s finished in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

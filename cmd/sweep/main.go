@@ -1,0 +1,72 @@
+// Command sweep explores the protocol's tunable parameters: the phase-clock
+// resolution Γ, the coin-level cap Φ, and the drag range Ψ. It quantifies
+// the trade-offs DESIGN.md describes: larger Γ slows every round but keeps
+// rounds synchronized; Φ controls how much the fast-elimination epoch cuts;
+// Ψ bounds how long the drag counter can pace passive cleanup.
+//
+// Usage:
+//
+//	sweep -what gamma -n 4096 -trials 5
+//	sweep -what phi   -n 16384
+//	sweep -what psi   -n 16384
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"text/tabwriter"
+
+	"popelect/internal/core"
+	"popelect/internal/sim"
+	"popelect/internal/stats"
+)
+
+func main() {
+	var (
+		what   = flag.String("what", "gamma", "parameter to sweep: gamma, phi, psi")
+		n      = flag.Int("n", 4096, "population size")
+		trials = flag.Int("trials", 5, "trials per setting")
+		seed   = flag.Uint64("seed", 1, "base seed")
+	)
+	flag.Parse()
+
+	var values []int
+	mutate := func(p *core.Params, v int) {}
+	switch *what {
+	case "gamma":
+		values = []int{16, 24, 36, 48, 64}
+		mutate = func(p *core.Params, v int) { p.Gamma = v }
+	case "phi":
+		values = []int{1, 2, 3, 4}
+		mutate = func(p *core.Params, v int) { p.Phi = v }
+	case "psi":
+		values = []int{2, 4, 6, 8}
+		mutate = func(p *core.Params, v int) { p.Psi = v }
+	default:
+		fmt.Fprintf(os.Stderr, "sweep: unknown parameter %q\n", *what)
+		os.Exit(2)
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "%s\tconverged\tpar.time mean\tp90\tmax\tt/(ln·lnln)\n", *what)
+	lnn := math.Log(float64(*n))
+	for _, v := range values {
+		params := core.DefaultParams(*n)
+		mutate(&params, v)
+		pr, err := core.New(params)
+		if err != nil {
+			fmt.Fprintf(w, "%d\tinvalid: %v\t\t\t\t\n", v, err)
+			continue
+		}
+		rs := sim.RunTrials[core.State, *core.Protocol](func(int) *core.Protocol { return pr },
+			sim.TrialConfig{Trials: *trials, Seed: *seed + uint64(v)})
+		times := sim.ParallelTimes(rs)
+		fmt.Fprintf(w, "%d\t%d/%d\t%.0f\t%.0f\t%.0f\t%.1f\n",
+			v, sim.ConvergedCount(rs), len(rs),
+			stats.Mean(times), stats.Quantile(times, 0.9), stats.Max(times),
+			stats.Mean(times)/(lnn*math.Log(lnn)))
+	}
+	w.Flush()
+}

@@ -1,0 +1,22 @@
+// Quickstart: elect a unique leader among 100 000 anonymous agents with the
+// paper's O(log log n)-state, O(log n·log log n)-expected-time protocol.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"popelect"
+)
+
+func main() {
+	const n = 100000
+	res, err := popelect.Elect(n, popelect.WithSeed(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("population:      %d agents\n", n)
+	fmt.Printf("elected leader:  agent %d\n", res.LeaderID)
+	fmt.Printf("interactions:    %d\n", res.Interactions)
+	fmt.Printf("parallel time:   %.1f (%.1f × ln n)\n", res.ParallelTime, res.ParallelTime/11.5)
+}

@@ -1,0 +1,133 @@
+package core
+
+// Census instrumentation used by tests, experiments and examples. These
+// functions scan the whole population; call them at sampling intervals, not
+// per interaction.
+
+// RoleCensus counts agents per role.
+func (pr *Protocol) RoleCensus(pop []State) map[Role]int {
+	out := make(map[Role]int, int(numRoles))
+	for _, s := range pop {
+		out[s.Role()]++
+	}
+	return out
+}
+
+// CoinLevelCensus counts coins per level (exact level, not cumulative).
+func (pr *Protocol) CoinLevelCensus(pop []State) []int {
+	counts := make([]int, pr.params.Phi+1)
+	for _, s := range pop {
+		if s.Role() == RoleC {
+			counts[s.CoinLevel()]++
+		}
+	}
+	return counts
+}
+
+// CumulativeCoinCensus returns C_ℓ, the number of coins at level ℓ or
+// higher, for ℓ = 0..Φ — the quantities bounded by Lemmas 5.1–5.3 and
+// plotted in Figure 1.
+func (pr *Protocol) CumulativeCoinCensus(pop []State) []int {
+	counts := pr.CoinLevelCensus(pop)
+	for l := len(counts) - 2; l >= 0; l-- {
+		counts[l] += counts[l+1]
+	}
+	return counts
+}
+
+// JuntaSize returns C_Φ, the number of clock leaders.
+func (pr *Protocol) JuntaSize(pop []State) int {
+	c := 0
+	for _, s := range pop {
+		if pr.isJunta(s) {
+			c++
+		}
+	}
+	return c
+}
+
+// InhibDragCensus counts inhibitors per drag value (exact), the quantities
+// D_ℓ of Lemma 7.1.
+func (pr *Protocol) InhibDragCensus(pop []State) []int {
+	counts := make([]int, pr.params.Psi+1)
+	for _, s := range pop {
+		if s.Role() == RoleI {
+			counts[s.InhibDrag()]++
+		}
+	}
+	return counts
+}
+
+// LeaderModeCensus counts leader candidates by mode.
+func (pr *Protocol) LeaderModeCensus(pop []State) (active, passive, withdrawn int) {
+	for _, s := range pop {
+		if s.Role() != RoleL {
+			continue
+		}
+		switch s.Mode() {
+		case ModeActive:
+			active++
+		case ModePassive:
+			passive++
+		default:
+			withdrawn++
+		}
+	}
+	return active, passive, withdrawn
+}
+
+// MinLeaderCnt returns the smallest round counter held by any active
+// candidate, or -1 if none exist. Because rounds are synchronized whp, this
+// identifies the current stage of the elimination schedule.
+func (pr *Protocol) MinLeaderCnt(pop []State) int {
+	min := -1
+	for _, s := range pop {
+		if s.Role() == RoleL && s.Mode() == ModeActive {
+			if c := int(s.Cnt()); min == -1 || c < min {
+				min = c
+			}
+		}
+	}
+	return min
+}
+
+// MaxLeaderDrag returns the largest drag value held by any leader candidate
+// (any mode), or -1 if no leader exists.
+func (pr *Protocol) MaxLeaderDrag(pop []State) int {
+	max := -1
+	for _, s := range pop {
+		if s.Role() == RoleL {
+			if d := int(s.LeaderDrag()); d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// MaxAliveDrag returns the largest drag value held by any alive candidate,
+// or -1 if none exist. Lemma 8.1's induction is the invariant
+// MaxAliveDrag == MaxLeaderDrag whenever a leader exists.
+func (pr *Protocol) MaxAliveDrag(pop []State) int {
+	max := -1
+	for _, s := range pop {
+		if s.Alive() {
+			if d := int(s.LeaderDrag()); d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// UninitiatedCount returns the number of agents still in role 0 or X — the
+// quantity bounded by Lemma 4.1.
+func (pr *Protocol) UninitiatedCount(pop []State) int {
+	c := 0
+	for _, s := range pop {
+		if r := s.Role(); r == RoleZero || r == RoleX {
+			c++
+		}
+	}
+	return c
+}

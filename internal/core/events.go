@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Event identifies which of the paper's rules fired during one interaction,
+// inferred from the before/after states of both participants. Several
+// events can fire in a single interaction (the paper: "interactions may
+// trigger several non-conflicting rules").
+type Event uint8
+
+// Events, named after the paper's rule numbers.
+const (
+	EvSplitZero    Event = iota // rule (1): 0+0 → X+L
+	EvSplitX                    // rule (1): X+X → C+I
+	EvDeactivate                // rule (2): straggler → D
+	EvCoinClimb                 // §5: coin level +1
+	EvCoinStop                  // §5: coin stops
+	EvInhibAdvance              // §7 preprocessing: drag +1
+	EvInhibStop                 // §7 preprocessing: stop
+	EvElevation                 // rule (8) + epidemic: low → high
+	EvRoundReset                // rule (3)/(3'): pass through 0 reset
+	EvFlipHeads                 // rule (4): scheduled coin came up heads
+	EvFlipTails                 // rule (5): scheduled coin came up tails
+	EvHeadsSpread               // rule (7): heads info adopted
+	EvPassivated                // rule (6): tails candidate → passive
+	EvDragTick                  // rule (10): drag +1
+	EvRule9                     // rule (9): withdraw on higher drag
+	EvRule11                    // rule (11): junior of two alive withdraws
+	NumEvents
+)
+
+var eventNames = [NumEvents]string{
+	"rule(1) 0+0→X+L",
+	"rule(1) X+X→C+I",
+	"rule(2) deactivate",
+	"coin climb",
+	"coin stop",
+	"inhibitor drag +1",
+	"inhibitor stop",
+	"rule(8) elevation",
+	"rule(3) round reset",
+	"rule(4) flip heads",
+	"rule(5) flip tails",
+	"rule(7) heads spread",
+	"rule(6) passivated",
+	"rule(10) drag tick",
+	"rule(9) withdraw",
+	"rule(11) duel loss",
+}
+
+func (e Event) String() string {
+	if int(e) < len(eventNames) {
+		return eventNames[e]
+	}
+	return fmt.Sprintf("Event(%d)", uint8(e))
+}
+
+// EventsOf reconstructs which rules fired in an interaction from the
+// before/after states of responder and initiator. It returns a bitmask
+// indexed by Event.
+func EventsOf(oldR, oldI, newR, newI State) uint32 {
+	var m uint32
+	set := func(e Event) { m |= 1 << e }
+
+	// Role transitions of the responder.
+	switch {
+	case oldR.Role() == RoleZero && newR.Role() == RoleX:
+		set(EvSplitZero)
+	case oldR.Role() == RoleX && newR.Role() == RoleC:
+		set(EvSplitX)
+	case (oldR.Role() == RoleZero || oldR.Role() == RoleX) && newR.Role() == RoleD:
+		set(EvDeactivate)
+	}
+
+	// Coin moves.
+	if oldR.Role() == RoleC && newR.Role() == RoleC {
+		if newR.CoinLevel() > oldR.CoinLevel() {
+			set(EvCoinClimb)
+		}
+		if !oldR.CoinStopped() && newR.CoinStopped() {
+			set(EvCoinStop)
+		}
+	}
+
+	// Inhibitor moves.
+	if oldR.Role() == RoleI && newR.Role() == RoleI {
+		if newR.InhibDrag() > oldR.InhibDrag() {
+			set(EvInhibAdvance)
+		}
+		if !oldR.InhibStopped() && newR.InhibStopped() {
+			set(EvInhibStop)
+		}
+		if !oldR.InhibHigh() && newR.InhibHigh() {
+			set(EvElevation)
+		}
+	}
+
+	// Leader moves of the responder.
+	if oldR.Role() == RoleL && newR.Role() == RoleL {
+		if newR.Cnt() < oldR.Cnt() ||
+			(oldR.FlipVal() != FlipNone && newR.FlipVal() == FlipNone) {
+			set(EvRoundReset)
+		}
+		if oldR.FlipVal() == FlipNone && newR.FlipVal() == FlipHeads {
+			set(EvFlipHeads)
+		}
+		if oldR.FlipVal() == FlipNone && newR.FlipVal() == FlipTails {
+			set(EvFlipTails)
+		}
+		if !oldR.HeadsSeen() && newR.HeadsSeen() && newR.FlipVal() != FlipHeads {
+			set(EvHeadsSpread)
+		}
+		if oldR.Mode() == ModeActive && newR.Mode() == ModePassive {
+			set(EvPassivated)
+		}
+		if newR.Mode() == ModeWithdrawn && oldR.Mode() != ModeWithdrawn {
+			if newR.LeaderDrag() > oldR.LeaderDrag() {
+				set(EvRule9)
+			} else {
+				set(EvRule11)
+			}
+		}
+		if newR.LeaderDrag() > oldR.LeaderDrag() && newR.Mode() == ModeActive {
+			set(EvDragTick)
+		}
+	}
+
+	// Initiator-side events: rule (1) targets and rule (11) losses.
+	if oldI.Role() == RoleZero && newI.Role() == RoleL {
+		set(EvSplitZero)
+	}
+	if oldI.Role() == RoleX && newI.Role() == RoleI {
+		set(EvSplitX)
+	}
+	if oldI.Role() == RoleL && newI.Role() == RoleL &&
+		oldI.Mode() != ModeWithdrawn && newI.Mode() == ModeWithdrawn {
+		set(EvRule11)
+	}
+	return m
+}
+
+// RuleStats accumulates rule-firing counts over a run; install Hook on a
+// runner and render the totals with WriteTo. The zero value is ready to use.
+type RuleStats struct {
+	Counts [NumEvents]uint64
+}
+
+// Record classifies one interaction.
+func (s *RuleStats) Record(oldR, oldI, newR, newI State) {
+	m := EventsOf(oldR, oldI, newR, newI)
+	for e := Event(0); e < NumEvents; e++ {
+		if m&(1<<e) != 0 {
+			s.Counts[e]++
+		}
+	}
+}
+
+// Total returns the number of recorded rule firings.
+func (s *RuleStats) Total() uint64 {
+	var t uint64
+	for _, c := range s.Counts {
+		t += c
+	}
+	return t
+}
+
+// WriteTo renders the counts, most frequent first.
+func (s *RuleStats) WriteTo(w io.Writer) (int64, error) {
+	type row struct {
+		e Event
+		c uint64
+	}
+	rows := make([]row, 0, NumEvents)
+	for e := Event(0); e < NumEvents; e++ {
+		rows = append(rows, row{e, s.Counts[e]})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].c > rows[j].c })
+	var n int64
+	for _, r := range rows {
+		k, err := fmt.Fprintf(w, "%-22s %12d\n", r.e, r.c)
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,127 @@
+// Package core implements the paper's leader-election protocol: the first
+// space-optimal (O(log log n) states) population protocol electing a leader
+// in o(log² n) time — O(log n · log log n) parallel time in expectation and
+// O(log² n) with high probability, always correct (Theorem 8.2).
+//
+// The execution has three epochs (Section 4):
+//
+//  1. Initialisation: symmetry-breaking rules partition agents into coins
+//     (C), inhibitors (I) and leader candidates (L); coins climb levels and
+//     the level-Φ coins (the junta) drive the phase clock; stragglers
+//     deactivate at the end of the first round.
+//  2. Fast elimination: one clocked round per entry of the biased-coin
+//     schedule [Φ,Φ,Φ,Φ,Φ−1,Φ−1,…,1,1] cuts the active candidates from
+//     ≈ n/2 to O(log n); candidates that lose a round become passive, not
+//     followers, so no candidate is ever lost.
+//  3. Final elimination: actives keep flipping the level-0 coin (bias 1/4);
+//     the inhibitor-driven drag counter ticks at exponentially growing
+//     intervals Θ(4^ℓ n log n) and lets passives withdraw safely; the slow
+//     backup rule (two alive candidates meeting eliminate the junior one)
+//     guarantees a unique leader with probability 1.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"popelect/internal/junta"
+	"popelect/internal/phaseclock"
+)
+
+// Params configures one protocol instance. The zero value is not usable;
+// start from DefaultParams.
+type Params struct {
+	// N is the population size (>= 2).
+	N int
+
+	// Gamma is the phase-clock resolution Γ (even, >= 4). The paper only
+	// requires a "suitably large constant"; 36 keeps rounds synchronized
+	// whp at all laptop-reachable n (see the Theorem 3.2 experiment).
+	Gamma int
+
+	// Phi is the number of asymmetric coin levels Φ. The paper sets
+	// Φ = ⌊log₂ log₂ n⌋ − 3; DefaultParams floors it at 1.
+	Phi int
+
+	// Psi is the drag-counter range Ψ = Θ(log log n). DefaultParams uses
+	// ⌈log₄ log₂ n⌉ + 3 so that the counter can outlive the whp-bound
+	// Θ(n log² n) interactions (4^Ψ ≳ log n).
+	Psi int
+
+	// NoFastElim is an ablation switch: skip the biased-coin fast
+	// elimination epoch and enter final elimination with ≈ n/2 active
+	// candidates.
+	NoFastElim bool
+
+	// NoDrag is an ablation switch: disable the drag counter (rules
+	// (8)–(10)), leaving passive-candidate cleanup to the slow backup
+	// rule only, as in GS18.
+	NoDrag bool
+}
+
+// DefaultParams returns the paper's parameters for population size n.
+func DefaultParams(n int) Params {
+	psi := 4
+	if n >= 4 {
+		log2 := math.Log2(float64(n))
+		psi = int(math.Ceil(math.Log2(log2)/2)) + 3 // log₄ log₂ n + 3
+		if psi < 4 {
+			psi = 4
+		}
+		if psi > 12 {
+			psi = 12
+		}
+	}
+	return Params{
+		N:     n,
+		Gamma: 36,
+		Phi:   junta.DefaultPhi(n),
+		Psi:   psi,
+	}
+}
+
+// Validate checks parameter consistency against the packed-state layout.
+func (p Params) Validate() error {
+	if p.N < 2 {
+		return fmt.Errorf("core: population %d < 2", p.N)
+	}
+	if err := phaseclock.Validate(p.Gamma); err != nil {
+		return err
+	}
+	if p.Phi < 1 || p.Phi > 15 {
+		return fmt.Errorf("core: Phi %d out of [1, 15]", p.Phi)
+	}
+	if p.Psi < 1 || p.Psi > 15 {
+		return fmt.Errorf("core: Psi %d out of [1, 15]", p.Psi)
+	}
+	if c := p.InitialCnt(); c > int(cntMask) {
+		return fmt.Errorf("core: counter start %d exceeds packed field", c)
+	}
+	return nil
+}
+
+// InitialCnt returns the starting value of the round counter: one more than
+// the number of scheduled coin uses (2Φ+3), so the first round is a warm-up
+// in which roles settle and no coin is flipped. With NoFastElim the
+// schedule is empty and candidates enter the final epoch after one warm-up
+// round plus one idle round.
+func (p Params) InitialCnt() int {
+	if p.NoFastElim {
+		return 2
+	}
+	return 2*p.Phi + 3
+}
+
+// ScheduleLevel returns γ(cnt), the biased-coin level flipped during the
+// round with counter value cnt ∈ [1, 2Φ+2]: coin Φ four times (cnt from
+// 2Φ+2 down to 2Φ−1), then each of Φ−1, …, 1 twice. For cnt = 0 (the final
+// epoch) it returns 0, the level-0 coin of bias ≈ 1/4.
+func (p Params) ScheduleLevel(cnt int) int {
+	if cnt <= 0 {
+		return 0
+	}
+	if cnt >= 2*p.Phi-1 {
+		return p.Phi
+	}
+	return (cnt + 1) / 2
+}

@@ -1,0 +1,105 @@
+package core
+
+import "testing"
+
+func TestDefaultParamsValid(t *testing.T) {
+	for _, n := range []int{2, 3, 16, 1024, 1 << 20, 1 << 30} {
+		p := DefaultParams(n)
+		if err := p.Validate(); err != nil {
+			t.Errorf("DefaultParams(%d) invalid: %v", n, err)
+		}
+		if p.N != n {
+			t.Errorf("DefaultParams(%d).N = %d", n, p.N)
+		}
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	base := DefaultParams(1024)
+	cases := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"tiny population", func(p *Params) { p.N = 1 }},
+		{"odd gamma", func(p *Params) { p.Gamma = 35 }},
+		{"gamma too small", func(p *Params) { p.Gamma = 2 }},
+		{"phi zero", func(p *Params) { p.Phi = 0 }},
+		{"phi too large", func(p *Params) { p.Phi = 16 }},
+		{"psi zero", func(p *Params) { p.Psi = 0 }},
+		{"psi too large", func(p *Params) { p.Psi = 16 }},
+	}
+	for _, c := range cases {
+		p := base
+		c.mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", c.name, p)
+		}
+	}
+}
+
+func TestInitialCnt(t *testing.T) {
+	p := DefaultParams(1024)
+	if got, want := p.InitialCnt(), 2*p.Phi+3; got != want {
+		t.Fatalf("InitialCnt = %d, want %d", got, want)
+	}
+	p.NoFastElim = true
+	if got := p.InitialCnt(); got != 2 {
+		t.Fatalf("NoFastElim InitialCnt = %d, want 2", got)
+	}
+}
+
+// TestScheduleLevel checks the coin schedule γ of Section 6: coin Φ four
+// times, then Φ−1, …, 1 twice each, as the counter decrements.
+func TestScheduleLevel(t *testing.T) {
+	p := Params{N: 1024, Gamma: 36, Phi: 3, Psi: 4}
+	// cnt runs 2Φ+2 = 8 down to 1.
+	want := map[int]int{8: 3, 7: 3, 6: 3, 5: 3, 4: 2, 3: 2, 2: 1, 1: 1, 0: 0}
+	for cnt, level := range want {
+		if got := p.ScheduleLevel(cnt); got != level {
+			t.Errorf("γ(%d) = %d, want %d", cnt, got, level)
+		}
+	}
+}
+
+func TestScheduleLevelPhiOne(t *testing.T) {
+	p := Params{N: 1024, Gamma: 36, Phi: 1, Psi: 4}
+	for cnt := 1; cnt <= 4; cnt++ {
+		if got := p.ScheduleLevel(cnt); got != 1 {
+			t.Errorf("Φ=1: γ(%d) = %d, want 1", cnt, got)
+		}
+	}
+	if got := p.ScheduleLevel(0); got != 0 {
+		t.Errorf("final-epoch level = %d, want 0", got)
+	}
+}
+
+// TestScheduleCounts verifies that over a full countdown each coin level
+// 1..Φ−1 is used exactly twice and level Φ exactly four times (Section 6).
+func TestScheduleCounts(t *testing.T) {
+	for phi := 1; phi <= 6; phi++ {
+		p := Params{N: 1024, Gamma: 36, Phi: phi, Psi: 4}
+		uses := make(map[int]int)
+		for cnt := 2*phi + 2; cnt >= 1; cnt-- {
+			uses[p.ScheduleLevel(cnt)]++
+		}
+		if uses[phi] != 4 {
+			t.Errorf("Φ=%d: coin Φ used %d times, want 4", phi, uses[phi])
+		}
+		for l := 1; l < phi; l++ {
+			if uses[l] != 2 {
+				t.Errorf("Φ=%d: coin %d used %d times, want 2", phi, l, uses[l])
+			}
+		}
+	}
+}
+
+func TestPsiGrowsWithN(t *testing.T) {
+	small := DefaultParams(64).Psi
+	big := DefaultParams(1 << 30).Psi
+	if big < small {
+		t.Fatalf("Psi should not shrink with n: %d vs %d", small, big)
+	}
+	if small < 1 || big > 15 {
+		t.Fatalf("Psi out of packable range: %d, %d", small, big)
+	}
+}

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"fmt"
+
+	"popelect/internal/junta"
+	"popelect/internal/phaseclock"
+)
+
+// Protocol implements sim.Protocol for the paper's leader-election protocol.
+// Create instances with New; the zero value is unusable.
+type Protocol struct {
+	params  Params
+	gamma   uint8
+	phi     uint8
+	psi     uint8
+	initCnt uint8
+}
+
+// New builds a protocol instance from validated parameters.
+func New(p Params) (*Protocol, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Protocol{
+		params:  p,
+		gamma:   uint8(p.Gamma),
+		phi:     uint8(p.Phi),
+		psi:     uint8(p.Psi),
+		initCnt: uint8(p.InitialCnt()),
+	}, nil
+}
+
+// MustNew is New for known-good parameters; it panics on error.
+func MustNew(p Params) *Protocol {
+	pr, err := New(p)
+	if err != nil {
+		panic(err)
+	}
+	return pr
+}
+
+// Params returns the protocol's configuration.
+func (pr *Protocol) Params() Params { return pr.params }
+
+// Name implements sim.Protocol.
+func (pr *Protocol) Name() string {
+	suffix := ""
+	if pr.params.NoFastElim {
+		suffix += "-nofast"
+	}
+	if pr.params.NoDrag {
+		suffix += "-nodrag"
+	}
+	return fmt.Sprintf("gsu19(Γ=%d,Φ=%d,Ψ=%d)%s", pr.params.Gamma, pr.params.Phi, pr.params.Psi, suffix)
+}
+
+// N implements sim.Protocol.
+func (pr *Protocol) N() int { return pr.params.N }
+
+// Init implements sim.Protocol: every agent starts uninitiated at phase 0.
+func (pr *Protocol) Init(int) State { return 0 }
+
+// isJunta reports whether an agent is a clock leader: a coin at level Φ.
+func (pr *Protocol) isJunta(s State) bool {
+	return s.Role() == RoleC && s.CoinLevel() == pr.phi
+}
+
+// Delta implements sim.Protocol. The responder r always relays the phase
+// clock; on top of that, the role-specific rules of Sections 4–8 apply. The
+// initiator i changes only under the symmetry-breaking rule (1) and the
+// slow-backup rule (11).
+func (pr *Protocol) Delta(r, i State) (State, State) {
+	oldPhase := r.Phase()
+	var newPhase uint8
+	if pr.isJunta(r) {
+		newPhase = phaseclock.JuntaNext(pr.gamma, oldPhase, i.Phase())
+	} else {
+		newPhase = phaseclock.FollowerNext(pr.gamma, oldPhase, i.Phase())
+	}
+	passed := phaseclock.PassedZero(oldPhase, newPhase)
+	half := phaseclock.HalfOf(pr.gamma, oldPhase, newPhase)
+
+	nr := r.WithPhase(newPhase)
+	ni := i
+
+	switch r.Role() {
+	case RoleZero:
+		if passed {
+			// Rule (2): stragglers deactivate at the end of the
+			// first round.
+			nr = nr.withRolePayload(RoleD, 0)
+		} else if i.Role() == RoleZero {
+			// Rule (1), first split: 0 + 0 → X + L.
+			nr = nr.withRolePayload(RoleX, 0)
+			ni = i.withLeader(ModeActive, FlipNone, false, pr.initCnt, 0)
+		}
+	case RoleX:
+		if passed {
+			nr = nr.withRolePayload(RoleD, 0)
+		} else if i.Role() == RoleX {
+			// Rule (1), second split: X + X → C + I.
+			nr = nr.withCoin(0, false)
+			ni = i.withInhib(0, false, false)
+		}
+	case RoleC:
+		if !r.CoinStopped() {
+			lvl, mode := junta.Next(r.CoinLevel(), junta.Advancing,
+				i.Role() == RoleC, i.CoinLevel(), pr.phi)
+			nr = nr.withCoin(lvl, mode == junta.Stopped)
+		}
+	case RoleI:
+		nr = pr.inhibitorDelta(nr, i, half)
+	case RoleL:
+		nr, ni = pr.leaderDelta(nr, i, passed, half)
+	}
+	return nr, ni
+}
+
+// inhibitorDelta applies the Section 7 inhibitor rules to the responder
+// (whose phase is already updated in nr).
+func (pr *Protocol) inhibitorDelta(nr, i State, half phaseclock.Half) State {
+	if pr.params.NoDrag {
+		return nr
+	}
+	if !nr.InhibStopped() {
+		// Preprocessing, late halves only: a synthetic coin flip per
+		// responder interaction — advance on meeting a coin (success,
+		// probability ≈ 1/4), stop otherwise. This follows Lemma
+		// 7.1's direction (D_ℓ ∝ 4^{−ℓ}); see DESIGN.md §5.1.
+		if half == phaseclock.Late {
+			if i.Role() == RoleC {
+				drag := nr.InhibDrag() + 1
+				if drag >= pr.psi {
+					return nr.withInhib(pr.psi, true, false)
+				}
+				return nr.withInhib(drag, false, false)
+			}
+			return nr.withInhib(nr.InhibDrag(), true, false)
+		}
+		return nr
+	}
+	if nr.InhibHigh() {
+		return nr
+	}
+	// Rule (8): a stopped low inhibitor meeting an active leader at its
+	// own drag value becomes high…
+	if i.Role() == RoleL && i.Mode() == ModeActive && i.LeaderDrag() == nr.InhibDrag() {
+		return nr.withInhib(nr.InhibDrag(), true, true)
+	}
+	// …and elevation spreads among same-drag inhibitors by one-way
+	// epidemic.
+	if i.Role() == RoleI && i.InhibHigh() && i.InhibDrag() == nr.InhibDrag() {
+		return nr.withInhib(nr.InhibDrag(), true, true)
+	}
+	return nr
+}
+
+// leaderDelta applies the Section 6–8 leader-candidate rules to the
+// responder (phase already updated in nr) and, for rules (1)/(11), to the
+// initiator.
+func (pr *Protocol) leaderDelta(nr, i State, passed bool, half phaseclock.Half) (State, State) {
+	mode := nr.Mode()
+	flip := nr.FlipVal()
+	heads := nr.HeadsSeen()
+	cnt := nr.Cnt()
+	drag := nr.LeaderDrag()
+
+	// Rules (3)/(3'): on the responder's pass through 0, decrement the
+	// round counter (entering the final epoch at 0, where it stays) and
+	// reset the per-round flip state.
+	if passed {
+		if cnt > 0 {
+			cnt--
+		}
+		flip = FlipNone
+		heads = false
+	}
+
+	// Rules (4)/(5): in the early half of a round, an active candidate
+	// that has not flipped yet uses the scheduled coin: heads iff the
+	// initiator is a coin at level ≥ γ(cnt). The warm-up round (counter
+	// still at its initial value) does not flip; with NoFastElim no coin
+	// is used until the final epoch.
+	if mode == ModeActive && flip == FlipNone && half == phaseclock.Early &&
+		cnt != pr.initCnt && !(pr.params.NoFastElim && cnt > 0) {
+		level := uint8(pr.params.ScheduleLevel(int(cnt)))
+		if i.Role() == RoleC && i.CoinLevel() >= level {
+			flip = FlipHeads
+			heads = true
+		} else {
+			flip = FlipTails
+		}
+	}
+
+	// Rules (6)/(7): in the late half, "heads were drawn" spreads by
+	// one-way epidemic among leader candidates; an active candidate
+	// holding tails that learns of heads becomes passive.
+	if half == phaseclock.Late && !heads && i.Role() == RoleL && i.HeadsSeen() {
+		heads = true
+		if mode == ModeActive && flip == FlipTails {
+			mode = ModePassive
+		}
+	}
+
+	// Rule (10): final epoch only — an active candidate holding heads
+	// that meets a high inhibitor at its own drag value increments its
+	// drag. (Gated on cnt == 0; see DESIGN.md §5.2.)
+	if !pr.params.NoDrag && mode == ModeActive && flip == FlipHeads && cnt == 0 &&
+		i.Role() == RoleI && i.InhibHigh() && i.InhibDrag() == drag && drag < pr.psi {
+		drag++
+	}
+
+	if i.Role() == RoleL {
+		if i.LeaderDrag() > drag {
+			// Rule (9): seeing a strictly larger drag value proves
+			// an active candidate survived longer — withdraw and
+			// adopt the larger value (which keeps propagating).
+			mode = ModeWithdrawn
+			drag = i.LeaderDrag()
+		} else if mode != ModeWithdrawn && i.Mode() != ModeWithdrawn {
+			// Rule (11): the slow backup — of two alive candidates
+			// the junior withdraws; an exact tie eliminates the
+			// initiator, so exactly one always survives.
+			probe := nr.withLeader(mode, flip, heads, cnt, drag)
+			if Seniority(i, probe) > 0 {
+				mode = ModeWithdrawn
+			} else {
+				ni := i.withLeader(ModeWithdrawn, i.FlipVal(), i.HeadsSeen(), i.Cnt(), i.LeaderDrag())
+				return nr.withLeader(mode, flip, heads, cnt, drag), ni
+			}
+		}
+	}
+	return nr.withLeader(mode, flip, heads, cnt, drag), i
+}
+
+// Census classes tracked incrementally by the engine.
+const (
+	ClassZero = iota
+	ClassX
+	ClassC
+	ClassI
+	ClassD
+	ClassActive
+	ClassPassive
+	ClassWithdrawn
+	NumClasses
+)
+
+// NumClasses implements sim.Protocol.
+func (pr *Protocol) NumClasses() int { return NumClasses }
+
+// Class implements sim.Protocol.
+func (pr *Protocol) Class(s State) uint8 {
+	switch s.Role() {
+	case RoleL:
+		return ClassActive + uint8(s.Mode())
+	case RoleD:
+		return ClassD
+	default:
+		return uint8(s.Role()) // Zero, X, C, I occupy classes 0..3
+	}
+}
+
+// Leader implements sim.Protocol: active and passive candidates map to the
+// leader output (Section 8's output mapping).
+func (pr *Protocol) Leader(s State) bool { return s.Alive() }
+
+// Stable implements sim.Protocol. The configuration has stabilized when
+// exactly one alive candidate remains and at most one uninitiated agent is
+// left (a single 0 can never meet another 0, so no new candidate can ever
+// be created; the last alive candidate can never withdraw by Lemma 8.1).
+func (pr *Protocol) Stable(counts []int64) bool {
+	return counts[ClassActive]+counts[ClassPassive] == 1 && counts[ClassZero] <= 1
+}

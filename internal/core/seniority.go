@@ -1,0 +1,50 @@
+package core
+
+// Seniority implements the total preorder of Section 8 used by the slow
+// backup rule (11) to decide which of two alive candidates survives a direct
+// encounter. Preference order:
+//
+//  1. higher drag (a larger drag proves longer survival in the final epoch);
+//  2. active beats passive;
+//  3. smaller round counter (further progressed through the schedule);
+//  4. heads beats none beats tails.
+//
+// Seniority returns +1 if a is strictly senior to b, −1 if b is strictly
+// senior to a, and 0 on an exact tie. Rule (11) breaks exact ties in favour
+// of the responder, so exactly one of two alive candidates always survives.
+func Seniority(a, b State) int {
+	if d := int(a.LeaderDrag()) - int(b.LeaderDrag()); d != 0 {
+		return sign(d)
+	}
+	// ModeActive (0) beats ModePassive (1): smaller is senior.
+	if d := int(b.Mode()) - int(a.Mode()); d != 0 {
+		return sign(d)
+	}
+	// Smaller cnt is senior.
+	if d := int(b.Cnt()) - int(a.Cnt()); d != 0 {
+		return sign(d)
+	}
+	return sign(flipRank(a.FlipVal()) - flipRank(b.FlipVal()))
+}
+
+// flipRank orders flips: heads > none > tails.
+func flipRank(f Flip) int {
+	switch f {
+	case FlipHeads:
+		return 2
+	case FlipNone:
+		return 1
+	default: // FlipTails
+		return 0
+	}
+}
+
+func sign(d int) int {
+	switch {
+	case d > 0:
+		return 1
+	case d < 0:
+		return -1
+	}
+	return 0
+}

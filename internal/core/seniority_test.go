@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func leaderState(m LeaderMode, f Flip, cnt, drag uint8) State {
+	return State(0).withLeader(m, f, false, cnt, drag)
+}
+
+func TestSeniorityDragDominates(t *testing.T) {
+	hi := leaderState(ModePassive, FlipTails, 9, 3)
+	lo := leaderState(ModeActive, FlipHeads, 0, 2)
+	if Seniority(hi, lo) != 1 || Seniority(lo, hi) != -1 {
+		t.Fatal("higher drag must dominate every other field")
+	}
+}
+
+func TestSeniorityActiveBeatsPassive(t *testing.T) {
+	a := leaderState(ModeActive, FlipTails, 5, 1)
+	p := leaderState(ModePassive, FlipHeads, 2, 1)
+	if Seniority(a, p) != 1 || Seniority(p, a) != -1 {
+		t.Fatal("at equal drag, A beats P")
+	}
+}
+
+func TestSenioritySmallerCntWins(t *testing.T) {
+	ahead := leaderState(ModeActive, FlipTails, 2, 0)
+	behind := leaderState(ModeActive, FlipHeads, 5, 0)
+	if Seniority(ahead, behind) != 1 {
+		t.Fatal("smaller cnt (further progressed) must win")
+	}
+}
+
+func TestSeniorityFlipOrder(t *testing.T) {
+	heads := leaderState(ModeActive, FlipHeads, 3, 0)
+	none := leaderState(ModeActive, FlipNone, 3, 0)
+	tails := leaderState(ModeActive, FlipTails, 3, 0)
+	if Seniority(heads, none) != 1 || Seniority(none, tails) != 1 || Seniority(heads, tails) != 1 {
+		t.Fatal("flip order must be heads > none > tails")
+	}
+}
+
+func TestSeniorityTie(t *testing.T) {
+	a := leaderState(ModePassive, FlipNone, 4, 2)
+	b := leaderState(ModePassive, FlipNone, 4, 2)
+	if Seniority(a, b) != 0 {
+		t.Fatal("identical candidates must tie")
+	}
+}
+
+func TestSeniorityAntisymmetric(t *testing.T) {
+	f := func(m1, f1, c1, d1, m2, f2, c2, d2 uint8) bool {
+		a := leaderState(LeaderMode(m1%2), Flip(f1%3), c1%16, d1%8)
+		b := leaderState(LeaderMode(m2%2), Flip(f2%3), c2%16, d2%8)
+		return Seniority(a, b) == -Seniority(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeniorityTransitive(t *testing.T) {
+	mk := func(m, fl, c, d uint8) State {
+		return leaderState(LeaderMode(m%2), Flip(fl%3), c%16, d%8)
+	}
+	f := func(v [12]uint8) bool {
+		a := mk(v[0], v[1], v[2], v[3])
+		b := mk(v[4], v[5], v[6], v[7])
+		c := mk(v[8], v[9], v[10], v[11])
+		if Seniority(a, b) >= 0 && Seniority(b, c) >= 0 {
+			return Seniority(a, c) >= 0
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeniorityIgnoresPhaseAndHeadsSeen(t *testing.T) {
+	a := State(0).WithPhase(3).withLeader(ModeActive, FlipNone, true, 4, 1)
+	b := State(0).WithPhase(9).withLeader(ModeActive, FlipNone, false, 4, 1)
+	if Seniority(a, b) != 0 {
+		t.Fatal("seniority must depend only on drag, mode, cnt, flip")
+	}
+}

@@ -1,0 +1,238 @@
+package core
+
+import "fmt"
+
+// State is the packed per-agent state.
+//
+// Layout (uint32):
+//
+//	bits  0..7   phase ∈ {0..Γ−1}            (all roles)
+//	bits  8..10  role
+//	bits 11..14  coin level / inhibitor drag  (C / I)
+//	bit  15      coin stopped / inhibitor stopped (C / I)
+//	bit  16      inhibitor elevation high     (I)
+//	bits 11..12  leader mode A/P/W            (L)
+//	bits 13..14  flip none/heads/tails        (L)
+//	bit  15      headsSeen (¬void)            (L)
+//	bits 16..21  round counter cnt            (L)
+//	bits 22..25  leader drag                  (L)
+//
+// The all-zero State is the protocol's initial state: role 0 ("uninitiated")
+// at phase 0.
+type State uint32
+
+// Role is an agent's sub-population (Section 4). Roles are assigned by the
+// symmetry-breaking rules (1) and never change afterwards, except that
+// uninitiated agents deactivate at the end of the first round (rule (2)).
+type Role uint8
+
+// The paper's roles.
+const (
+	RoleZero Role = iota // uninitiated, pre-rule-(1)
+	RoleX                // intermediate, between the two splits of rule (1)
+	RoleC                // coin
+	RoleI                // inhibitor
+	RoleL                // leader candidate
+	RoleD                // deactivated straggler
+	numRoles
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleZero:
+		return "0"
+	case RoleX:
+		return "X"
+	case RoleC:
+		return "C"
+	case RoleI:
+		return "I"
+	case RoleL:
+		return "L"
+	case RoleD:
+		return "D"
+	}
+	return fmt.Sprintf("Role(%d)", uint8(r))
+}
+
+// LeaderMode distinguishes leader candidates (Section 7): active candidates
+// flip coins and drive the drag counter; passive candidates lost a round but
+// remain alive (they still map to the leader output); withdrawn candidates
+// are followers.
+type LeaderMode uint8
+
+// Leader candidate modes.
+const (
+	ModeActive    LeaderMode = iota // A
+	ModePassive                     // P
+	ModeWithdrawn                   // W
+)
+
+func (m LeaderMode) String() string {
+	switch m {
+	case ModeActive:
+		return "A"
+	case ModePassive:
+		return "P"
+	case ModeWithdrawn:
+		return "W"
+	}
+	return fmt.Sprintf("LeaderMode(%d)", uint8(m))
+}
+
+// Flip is a leader candidate's coin-flip result for the current round.
+type Flip uint8
+
+// Flip values.
+const (
+	FlipNone Flip = iota
+	FlipHeads
+	FlipTails
+)
+
+func (f Flip) String() string {
+	switch f {
+	case FlipNone:
+		return "none"
+	case FlipHeads:
+		return "heads"
+	case FlipTails:
+		return "tails"
+	}
+	return fmt.Sprintf("Flip(%d)", uint8(f))
+}
+
+const (
+	phaseMask = 0xff
+
+	roleShift = 8
+	roleMask  = 0x7
+
+	levelShift = 11
+	levelMask  = 0xf
+	stopBit    = 1 << 15 // coin or inhibitor preprocessing stopped
+	highBit    = 1 << 16 // inhibitor elevation
+
+	lmodeShift   = 11
+	lmodeMask    = 0x3
+	flipShift    = 13
+	flipMask     = 0x3
+	headsSeenBit = 1 << 15
+	cntShift     = 16
+	cntMask      = 0x3f
+	ldragShift   = 22
+	ldragMask    = 0xf
+)
+
+// Phase returns the agent's phase-clock value.
+func (s State) Phase() uint8 { return uint8(s & phaseMask) }
+
+// WithPhase returns s with the phase replaced.
+func (s State) WithPhase(p uint8) State { return s&^phaseMask | State(p) }
+
+// Role returns the agent's role.
+func (s State) Role() Role { return Role(s >> roleShift & roleMask) }
+
+// withRolePayload replaces role and the role-specific payload bits,
+// preserving the phase.
+func (s State) withRolePayload(r Role, payload State) State {
+	return s&phaseMask | State(r)<<roleShift | payload
+}
+
+// --- Coin accessors (RoleC) ---
+
+// CoinLevel returns a coin's level.
+func (s State) CoinLevel() uint8 { return uint8(s >> levelShift & levelMask) }
+
+// CoinStopped reports whether a coin has stopped climbing levels.
+func (s State) CoinStopped() bool { return s&stopBit != 0 }
+
+func (s State) withCoin(level uint8, stopped bool) State {
+	out := s&phaseMask | State(RoleC)<<roleShift | State(level)<<levelShift
+	if stopped {
+		out |= stopBit
+	}
+	return out
+}
+
+// --- Inhibitor accessors (RoleI) ---
+
+// InhibDrag returns an inhibitor's drag value.
+func (s State) InhibDrag() uint8 { return uint8(s >> levelShift & levelMask) }
+
+// InhibStopped reports whether an inhibitor finished preprocessing.
+func (s State) InhibStopped() bool { return s&stopBit != 0 }
+
+// InhibHigh reports whether an inhibitor is in high elevation.
+func (s State) InhibHigh() bool { return s&highBit != 0 }
+
+func (s State) withInhib(drag uint8, stopped, high bool) State {
+	out := s&phaseMask | State(RoleI)<<roleShift | State(drag)<<levelShift
+	if stopped {
+		out |= stopBit
+	}
+	if high {
+		out |= highBit
+	}
+	return out
+}
+
+// --- Leader accessors (RoleL) ---
+
+// Mode returns a leader candidate's mode.
+func (s State) Mode() LeaderMode { return LeaderMode(s >> lmodeShift & lmodeMask) }
+
+// FlipVal returns a leader candidate's coin-flip result.
+func (s State) FlipVal() Flip { return Flip(s >> flipShift & flipMask) }
+
+// HeadsSeen reports whether the candidate knows heads were drawn this round
+// (the negation of the paper's void flag).
+func (s State) HeadsSeen() bool { return s&headsSeenBit != 0 }
+
+// Cnt returns a leader candidate's round counter; 0 means the final epoch.
+func (s State) Cnt() uint8 { return uint8(s >> cntShift & cntMask) }
+
+// LeaderDrag returns a leader candidate's drag value.
+func (s State) LeaderDrag() uint8 { return uint8(s >> ldragShift & ldragMask) }
+
+// Alive reports whether the state is an alive leader candidate (active or
+// passive) — the states that map to the leader output.
+func (s State) Alive() bool {
+	return s.Role() == RoleL && s.Mode() != ModeWithdrawn
+}
+
+func (s State) withLeader(m LeaderMode, f Flip, headsSeen bool, cnt, drag uint8) State {
+	out := s&phaseMask | State(RoleL)<<roleShift |
+		State(m)<<lmodeShift | State(f)<<flipShift |
+		State(cnt)<<cntShift | State(drag)<<ldragShift
+	if headsSeen {
+		out |= headsSeenBit
+	}
+	return out
+}
+
+// String renders the state for traces and debugging.
+func (s State) String() string {
+	switch s.Role() {
+	case RoleC:
+		return fmt.Sprintf("C⟨lvl=%d,%v,φ=%d⟩", s.CoinLevel(), stopString(s.CoinStopped()), s.Phase())
+	case RoleI:
+		elev := "low"
+		if s.InhibHigh() {
+			elev = "high"
+		}
+		return fmt.Sprintf("I⟨drag=%d,%v,%s,φ=%d⟩", s.InhibDrag(), stopString(s.InhibStopped()), elev, s.Phase())
+	case RoleL:
+		return fmt.Sprintf("L⟨%v,cnt=%d,%v,heard=%t,drag=%d,φ=%d⟩",
+			s.Mode(), s.Cnt(), s.FlipVal(), s.HeadsSeen(), s.LeaderDrag(), s.Phase())
+	default:
+		return fmt.Sprintf("%v⟨φ=%d⟩", s.Role(), s.Phase())
+	}
+}
+
+func stopString(stopped bool) string {
+	if stopped {
+		return "stop"
+	}
+	return "adv"
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueIsInitialState(t *testing.T) {
+	var s State
+	if s.Role() != RoleZero || s.Phase() != 0 {
+		t.Fatalf("zero State = %v", s)
+	}
+}
+
+func TestPhaseRoundtrip(t *testing.T) {
+	f := func(raw uint32, p uint8) bool {
+		s := State(raw)
+		out := s.WithPhase(p)
+		// Phase replaced, everything else preserved.
+		return out.Phase() == p && out&^phaseMask == s&^phaseMask
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoinRoundtrip(t *testing.T) {
+	f := func(p, lvl uint8, stopped bool) bool {
+		lvl %= 16
+		s := State(0).WithPhase(p).withCoin(lvl, stopped)
+		return s.Role() == RoleC && s.Phase() == p &&
+			s.CoinLevel() == lvl && s.CoinStopped() == stopped
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInhibRoundtrip(t *testing.T) {
+	f := func(p, drag uint8, stopped, high bool) bool {
+		drag %= 16
+		s := State(0).WithPhase(p).withInhib(drag, stopped, high)
+		return s.Role() == RoleI && s.Phase() == p &&
+			s.InhibDrag() == drag && s.InhibStopped() == stopped && s.InhibHigh() == high
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLeaderRoundtrip(t *testing.T) {
+	f := func(p uint8, mRaw, fRaw, cnt, drag uint8, heads bool) bool {
+		m := LeaderMode(mRaw % 3)
+		fl := Flip(fRaw % 3)
+		cnt %= 64
+		drag %= 16
+		s := State(0).WithPhase(p).withLeader(m, fl, heads, cnt, drag)
+		return s.Role() == RoleL && s.Phase() == p && s.Mode() == m &&
+			s.FlipVal() == fl && s.HeadsSeen() == heads &&
+			s.Cnt() == cnt && s.LeaderDrag() == drag
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlive(t *testing.T) {
+	mk := func(m LeaderMode) State { return State(0).withLeader(m, FlipNone, false, 3, 0) }
+	if !mk(ModeActive).Alive() || !mk(ModePassive).Alive() {
+		t.Fatal("A and P candidates are alive")
+	}
+	if mk(ModeWithdrawn).Alive() {
+		t.Fatal("W is not alive")
+	}
+	if (State(0).withCoin(1, false)).Alive() {
+		t.Fatal("coins are not alive candidates")
+	}
+}
+
+func TestRolePayloadSwitch(t *testing.T) {
+	// Converting roles must clear the previous payload.
+	s := State(0).WithPhase(7).withLeader(ModePassive, FlipHeads, true, 9, 3)
+	d := s.withRolePayload(RoleD, 0)
+	if d.Role() != RoleD || d.Phase() != 7 {
+		t.Fatalf("conversion broken: %v", d)
+	}
+	if d&^(phaseMask|State(roleMask)<<roleShift) != 0 {
+		t.Fatalf("stale payload bits: %x", uint32(d))
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	cases := []struct {
+		s    State
+		want string
+	}{
+		{State(0).withCoin(2, true), "C⟨"},
+		{State(0).withInhib(1, true, true), "I⟨"},
+		{State(0).withLeader(ModeActive, FlipHeads, true, 5, 2), "L⟨"},
+		{State(0), "0⟨"},
+		{State(0).withRolePayload(RoleD, 0), "D⟨"},
+		{State(0).withRolePayload(RoleX, 0), "X⟨"},
+	}
+	for _, c := range cases {
+		if got := c.s.String(); !strings.HasPrefix(got, c.want) {
+			t.Errorf("String() = %q, want prefix %q", got, c.want)
+		}
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if RoleC.String() != "C" || RoleL.String() != "L" || Role(7).String() == "" {
+		t.Fatal("Role.String broken")
+	}
+	if ModeActive.String() != "A" || ModeWithdrawn.String() != "W" || LeaderMode(9).String() == "" {
+		t.Fatal("LeaderMode.String broken")
+	}
+	if FlipHeads.String() != "heads" || FlipNone.String() != "none" || Flip(9).String() == "" {
+		t.Fatal("Flip.String broken")
+	}
+}

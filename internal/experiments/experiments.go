@@ -1,0 +1,158 @@
+// Package experiments regenerates every evaluation artifact of the paper —
+// Table 1 and Figures 1–3 — plus the quantitative lemmas behind them
+// (Lemmas 4.1, 5.3, 7.1, 7.3, Theorems 3.2 and 8.2) by simulation, printing
+// tables whose rows mirror what the paper reports. See EXPERIMENTS.md for
+// the recorded paper-vs-measured comparison.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Config controls experiment scale. The zero value is unusable; start from
+// DefaultConfig or SmokeConfig.
+type Config struct {
+	// Sizes is the list of population sizes n.
+	Sizes []int
+
+	// Trials is the number of independent runs per measurement point.
+	Trials int
+
+	// Seed is the base PRNG seed.
+	Seed uint64
+
+	// Workers bounds concurrent trials; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// DefaultConfig returns the configuration used for EXPERIMENTS.md.
+func DefaultConfig() Config {
+	return Config{
+		Sizes:  []int{1 << 10, 1 << 12, 1 << 14, 1 << 16},
+		Trials: 10,
+		Seed:   2019, // SPAA 2019
+	}
+}
+
+// SmokeConfig returns a fast configuration for tests.
+func SmokeConfig() Config {
+	return Config{
+		Sizes:  []int{1 << 9, 1 << 10},
+		Trials: 3,
+		Seed:   7,
+	}
+}
+
+// Table is a rendered experiment result: a titled grid with footnotes.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row; cell count must match Columns.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("experiments: row with %d cells for %d columns", len(cells), len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a footnote.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for c, col := range t.Columns {
+		widths[c] = len([]rune(col))
+	}
+	for _, row := range t.Rows {
+		for c, cell := range row {
+			if l := len([]rune(cell)); l > widths[c] {
+				widths[c] = l
+			}
+		}
+	}
+	pad := func(s string, w int) string {
+		return s + strings.Repeat(" ", w-len([]rune(s)))
+	}
+	header := make([]string, len(t.Columns))
+	for c, col := range t.Columns {
+		header[c] = pad(col, widths[c])
+	}
+	fmt.Fprintln(w, strings.Join(header, "  "))
+	total := len(widths) - 1
+	for _, wd := range widths {
+		total += wd + 1
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total))
+	for _, row := range t.Rows {
+		cells := make([]string, len(row))
+		for c, cell := range row {
+			cells[c] = pad(cell, widths[c])
+		}
+		fmt.Fprintln(w, strings.Join(cells, "  "))
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderAll writes several tables.
+func RenderAll(w io.Writer, tables []*Table) {
+	for _, t := range tables {
+		t.Render(w)
+	}
+}
+
+// Registry maps experiment ids to runners, for cmd/paperbench.
+type Runner func(Config) []*Table
+
+// All returns the full experiment registry in presentation order.
+func All() []struct {
+	ID  string
+	Run Runner
+} {
+	return []struct {
+		ID  string
+		Run Runner
+	}{
+		{"table1", Table1},
+		{"fig1", Figure1},
+		{"fig2", Figure2},
+		{"fig3", Figure3},
+		{"lemma41", Lemma41},
+		{"lemma53", Lemma53},
+		{"lemma71", Lemma71},
+		{"lemma73", Lemma73},
+		{"thm32", Theorem32},
+		{"thm82", Theorem82},
+		{"epidemic", Epidemic},
+		{"ablation", Ablation},
+	}
+}
+
+// Lookup returns the runner for an experiment id.
+func Lookup(id string) (Runner, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e.Run, true
+		}
+	}
+	return nil, false
+}
+
+func f0(v float64) string { return fmt.Sprintf("%.0f", v) }
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func d(v int) string      { return fmt.Sprintf("%d", v) }

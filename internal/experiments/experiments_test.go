@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Smoke tests: every experiment must produce at least one table with rows
+// on a small configuration, and tables must render.
+
+func runAndRender(t *testing.T, id string) string {
+	t.Helper()
+	run, ok := Lookup(id)
+	if !ok {
+		t.Fatalf("experiment %q not registered", id)
+	}
+	tables := run(SmokeConfig())
+	if len(tables) == 0 {
+		t.Fatalf("%s produced no tables", id)
+	}
+	var buf bytes.Buffer
+	for _, tab := range tables {
+		if tab.ID == "" || tab.Title == "" || len(tab.Columns) == 0 {
+			t.Fatalf("%s produced an unlabeled table", id)
+		}
+		if len(tab.Rows) == 0 {
+			t.Fatalf("%s produced an empty table %q", id, tab.ID)
+		}
+		tab.Render(&buf)
+	}
+	return buf.String()
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"table1", "fig1", "fig2", "fig3", "lemma41", "lemma53",
+		"lemma71", "lemma73", "thm32", "thm82", "epidemic", "ablation"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(all), len(want))
+	}
+	for i, id := range want {
+		if all[i].ID != id {
+			t.Errorf("registry[%d] = %s, want %s", i, all[i].ID, id)
+		}
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("Lookup(%q) failed", id)
+		}
+	}
+	if _, ok := Lookup("nonsense"); ok {
+		t.Error("Lookup must reject unknown ids")
+	}
+}
+
+func TestTableAddRowValidates(t *testing.T) {
+	tab := &Table{Columns: []string{"a", "b"}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddRow with wrong arity must panic")
+		}
+	}()
+	tab.AddRow("only one")
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{ID: "x", Title: "demo", Columns: []string{"col", "value"}}
+	tab.AddRow("a", "1")
+	tab.AddNote("footnote %d", 7)
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"demo", "col", "a", "footnote 7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEpidemicExperiment(t *testing.T) {
+	out := runAndRender(t, "epidemic")
+	if !strings.Contains(out, "n ln n") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestThm32Experiment(t *testing.T) {
+	out := runAndRender(t, "thm32")
+	if !strings.Contains(out, "Phase clock") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestLemma53Experiment(t *testing.T) {
+	runAndRender(t, "lemma53")
+}
+
+func TestLemma71Experiment(t *testing.T) {
+	runAndRender(t, "lemma71")
+}
+
+func TestLemma41Experiment(t *testing.T) {
+	runAndRender(t, "lemma41")
+}
+
+func TestLemma73Experiment(t *testing.T) {
+	runAndRender(t, "lemma73")
+}
+
+func TestFig1Experiment(t *testing.T) {
+	runAndRender(t, "fig1")
+}
+
+func TestFig2Experiment(t *testing.T) {
+	runAndRender(t, "fig2")
+}
+
+func TestFig3Experiment(t *testing.T) {
+	runAndRender(t, "fig3")
+}
+
+func TestThm82Experiment(t *testing.T) {
+	out := runAndRender(t, "thm82")
+	if !strings.Contains(out, "Las Vegas") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestAblationExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation runs many variants")
+	}
+	runAndRender(t, "ablation")
+}
+
+func TestTable1Experiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table1 runs four protocols")
+	}
+	out := runAndRender(t, "table1")
+	for _, proto := range []string{"slow", "lottery", "gs18", "this work"} {
+		if !strings.Contains(out, proto) {
+			t.Fatalf("table1 missing protocol %q:\n%s", proto, out)
+		}
+	}
+}
+
+func TestConfigs(t *testing.T) {
+	def := DefaultConfig()
+	if len(def.Sizes) == 0 || def.Trials <= 0 {
+		t.Fatal("default config unusable")
+	}
+	smoke := SmokeConfig()
+	if maxSize(smoke) >= maxSize(def) {
+		t.Fatal("smoke config should be smaller than default")
+	}
+}

@@ -1,0 +1,85 @@
+// Package oscillator implements the 3-state Lotka–Volterra protocol studied
+// by Czyzowicz et al. (ICALP 2015), which the paper cites as the conceptual
+// ancestor of phase clocks: three species chase each other cyclically,
+//
+//	A + B → A + A,   B + C → B + B,   C + A → C + C,
+//
+// (the responder converts a prey initiator), so the species censuses
+// oscillate around the even split for a long time before random drift
+// absorbs the system in a single species. The oscillation period is the
+// primitive "clock" that junta-driven phase clocks later made robust.
+package oscillator
+
+import "fmt"
+
+// Species.
+const (
+	A uint32 = iota
+	B
+	C
+)
+
+// Protocol implements sim.Protocol.
+type Protocol struct {
+	Size int
+}
+
+// New builds an oscillator over n agents, species split as evenly as
+// possible.
+func New(n int) (*Protocol, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("oscillator: population %d < 3", n)
+	}
+	return &Protocol{Size: n}, nil
+}
+
+// Name implements sim.Protocol.
+func (p *Protocol) Name() string { return "oscillator(CGK+15)" }
+
+// N implements sim.Protocol.
+func (p *Protocol) N() int { return p.Size }
+
+// Init implements sim.Protocol: species assigned round-robin.
+func (p *Protocol) Init(i int) uint32 { return uint32(i % 3) }
+
+// prey returns the species that s converts.
+func prey(s uint32) uint32 { return (s + 1) % 3 }
+
+// Delta implements sim.Protocol: if the initiator is the responder's prey,
+// the responder converts it... in the one-way convention the responder
+// updates, so the responder joins the predator when it is the prey.
+func (p *Protocol) Delta(r, i uint32) (uint32, uint32) {
+	if prey(i) == r {
+		return i, i
+	}
+	return r, i
+}
+
+// NumClasses implements sim.Protocol.
+func (p *Protocol) NumClasses() int { return 3 }
+
+// Class implements sim.Protocol.
+func (p *Protocol) Class(s uint32) uint8 { return uint8(s) }
+
+// Leader implements sim.Protocol; oscillators elect no leader.
+func (p *Protocol) Leader(uint32) bool { return false }
+
+// Stable implements sim.Protocol: absorption happens when two species are
+// extinct — the survivor has no prey left to convert… almost: a single
+// species is trivially absorbing; two species where one is the other's
+// predator collapse to one. Only the one-species states are stable.
+func (p *Protocol) Stable(counts []int64) bool {
+	nonzero := 0
+	for _, c := range counts {
+		if c > 0 {
+			nonzero++
+		}
+	}
+	if nonzero == 1 {
+		return true
+	}
+	// Two species can coexist forever only if neither preys on the
+	// other, which is impossible in a 3-cycle; but a predator-prey pair
+	// still evolves, so it is not stable.
+	return false
+}

@@ -1,0 +1,127 @@
+package oscillator
+
+import (
+	"testing"
+
+	"popelect/internal/rng"
+	"popelect/internal/sim"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(3); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	if _, err := New(2); err == nil {
+		t.Fatal("n=2 must be rejected")
+	}
+}
+
+func TestDeltaRules(t *testing.T) {
+	p, _ := New(9)
+	cases := []struct{ r, i, wantR uint32 }{
+		{B, A, A}, // A + B → A + A
+		{C, B, B}, // B + C → B + B
+		{A, C, C}, // C + A → C + C
+		{A, B, A}, // predator unaffected as responder
+		{B, C, B},
+		{C, A, C},
+		{A, A, A}, // same species: null
+		{B, B, B},
+		{C, C, C},
+	}
+	for _, c := range cases {
+		nr, ni := p.Delta(c.r, c.i)
+		if nr != c.wantR {
+			t.Errorf("Delta(%d, %d) responder = %d, want %d", c.r, c.i, nr, c.wantR)
+		}
+		if ni != c.i {
+			t.Errorf("Delta(%d, %d) changed initiator", c.r, c.i)
+		}
+	}
+}
+
+func TestInitBalanced(t *testing.T) {
+	p, _ := New(9)
+	var counts [3]int
+	for i := 0; i < 9; i++ {
+		counts[p.Init(i)]++
+	}
+	if counts[0] != 3 || counts[1] != 3 || counts[2] != 3 {
+		t.Fatalf("unbalanced init: %v", counts)
+	}
+}
+
+// TestOscillation: at moderate n the species censuses cross the n/3 line
+// repeatedly before absorption — the behaviour CGK+15 analyze and the
+// paper's phase clocks stabilize.
+func TestOscillation(t *testing.T) {
+	n := 3000
+	p, _ := New(n)
+	r := sim.NewRunner[uint32, *Protocol](p, rng.New(7))
+	crossings := 0
+	prevAbove := r.Counts()[A] > int64(n/3)
+	for k := 0; k < 400; k++ {
+		r.RunSteps(uint64(n / 4))
+		if r.Counts()[A] == int64(n) || r.Counts()[A] == 0 {
+			break
+		}
+		above := r.Counts()[A] > int64(n/3)
+		if above != prevAbove {
+			crossings++
+			prevAbove = above
+		}
+	}
+	if crossings < 4 {
+		t.Fatalf("species A crossed its mean only %d times; no oscillation", crossings)
+	}
+}
+
+// TestAbsorption: small populations drift to a single species quickly, and
+// the stability predicate recognizes it.
+func TestAbsorption(t *testing.T) {
+	p, _ := New(24)
+	r := sim.NewRunner[uint32, *Protocol](p, rng.New(3))
+	res := r.Run()
+	if !res.Converged {
+		t.Fatalf("%+v", res)
+	}
+	nonzero := 0
+	for _, c := range res.Counts {
+		if c > 0 {
+			nonzero++
+		}
+	}
+	if nonzero != 1 {
+		t.Fatalf("absorbed into %d species: %v", nonzero, res.Counts)
+	}
+}
+
+func TestTwoSpeciesResolve(t *testing.T) {
+	// Start without species C: B must die out (A converts it), leaving
+	// all-A.
+	p, _ := New(30)
+	o := sim.NewOverride[uint32, *Protocol](p, func(i int) uint32 {
+		return uint32(i % 2) // A and B only
+	})
+	r := sim.NewRunner[uint32, *sim.Override[uint32, *Protocol]](o, rng.New(9))
+	res := r.Run()
+	if !res.Converged {
+		t.Fatalf("%+v", res)
+	}
+	if res.Counts[A] != 30 {
+		t.Fatalf("A must win the A/B pair: %v", res.Counts)
+	}
+}
+
+func TestStablePredicate(t *testing.T) {
+	p, _ := New(9)
+	if !p.Stable([]int64{9, 0, 0}) || !p.Stable([]int64{0, 9, 0}) {
+		t.Fatal("single species must be stable")
+	}
+	if p.Stable([]int64{5, 4, 0}) || p.Stable([]int64{3, 3, 3}) {
+		t.Fatal("multi-species states are not stable")
+	}
+	if p.Leader(A) || p.Name() == "" || p.NumClasses() != 3 {
+		t.Fatal("metadata broken")
+	}
+}

@@ -1,0 +1,119 @@
+// Package phaseclock implements the junta-driven phase clock of Section 3 of
+// the paper (after Gąsieniec & Stachowiak, SODA 2018).
+//
+// Every agent carries a phase in {0, …, Γ−1}. When an agent interacts as the
+// responder it updates its phase from the initiator's: followers move to
+// max_Γ of the two phases, junta members (clock leaders) move to max_Γ of
+// their own phase and the initiator's phase plus one, so the junta drags the
+// whole population around the cycle. A numeric decrease of an agent's phase
+// is a "pass through 0" and delimits its rounds; with high probability all
+// agents' passes form synchronized equivalence classes (Theorem 3.2) and
+// each round takes Θ(n log n) interactions.
+//
+// The package provides the modular arithmetic as pure functions on uint8
+// phases (packed into protocol states by the users of this package) plus a
+// standalone clock-only protocol used to validate Theorem 3.2 empirically.
+package phaseclock
+
+import "fmt"
+
+// Validate checks that gamma is a usable clock resolution: at least 4 (so
+// that both halves and the wrap window are non-trivial) and even (so the
+// early/late halves are equal).
+func Validate(gamma int) error {
+	if gamma < 4 {
+		return fmt.Errorf("phaseclock: gamma %d < 4", gamma)
+	}
+	if gamma%2 != 0 {
+		return fmt.Errorf("phaseclock: gamma %d must be even", gamma)
+	}
+	if gamma > 250 {
+		return fmt.Errorf("phaseclock: gamma %d does not fit the packed phase field", gamma)
+	}
+	return nil
+}
+
+// MaxGamma returns max_Γ(x, y) as defined in the paper:
+//
+//	max(x, y)  if |x − y| ≤ Γ/2,
+//	min(x, y)  if |x − y| > Γ/2.
+//
+// The min branch handles phases that straddle the wrap point: when the two
+// values are more than half a cycle apart, the numerically smaller one is
+// actually ahead (it has already wrapped past 0).
+func MaxGamma(gamma, x, y uint8) uint8 {
+	d := x - y
+	if x < y {
+		d = y - x
+	}
+	if d <= gamma/2 {
+		if x > y {
+			return x
+		}
+		return y
+	}
+	if x < y {
+		return x
+	}
+	return y
+}
+
+// AddGamma returns x +Γ d, addition modulo Γ.
+func AddGamma(gamma, x, d uint8) uint8 {
+	return uint8((uint16(x) + uint16(d)) % uint16(gamma))
+}
+
+// FollowerNext returns the phase a clock follower adopts after interacting
+// (as responder) with an initiator at phase y.
+func FollowerNext(gamma, x, y uint8) uint8 {
+	return MaxGamma(gamma, x, y)
+}
+
+// JuntaNext returns the phase a junta member (clock leader) adopts after
+// interacting (as responder) with an initiator at phase y.
+func JuntaNext(gamma, x, y uint8) uint8 {
+	return MaxGamma(gamma, x, AddGamma(gamma, y, 1))
+}
+
+// PassedZero reports whether moving from phase old to phase new constitutes
+// a pass through 0, i.e. the phase was "reduced in absolute terms". Both
+// FollowerNext and JuntaNext only decrease the numeric phase by wrapping
+// past 0, so a numeric decrease is exactly a pass.
+func PassedZero(old, new uint8) bool {
+	return new < old
+}
+
+// Half identifies which half of the clock cycle an interaction belongs to.
+type Half uint8
+
+// Halves of the cycle. An interaction is Early if both its start and end
+// phase lie in {0, …, Γ/2−1}, Late if both lie in {Γ/2, …, Γ−1}, and
+// Boundary otherwise (it straddles a half boundary or wraps).
+const (
+	Boundary Half = iota
+	Early
+	Late
+)
+
+func (h Half) String() string {
+	switch h {
+	case Early:
+		return "early"
+	case Late:
+		return "late"
+	default:
+		return "boundary"
+	}
+}
+
+// HalfOf classifies an interaction by its responder's start and end phases.
+func HalfOf(gamma, old, new uint8) Half {
+	half := gamma / 2
+	if old < half && new < half {
+		return Early
+	}
+	if old >= half && new >= half {
+		return Late
+	}
+	return Boundary
+}

@@ -1,0 +1,161 @@
+package phaseclock
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	for _, g := range []int{4, 16, 36, 250} {
+		if err := Validate(g); err != nil {
+			t.Errorf("Validate(%d) = %v", g, err)
+		}
+	}
+	for _, g := range []int{0, 2, 3, 5, 17, 251, 256} {
+		if err := Validate(g); err == nil {
+			t.Errorf("Validate(%d) should fail", g)
+		}
+	}
+}
+
+func TestMaxGammaDefinition(t *testing.T) {
+	const g = 12
+	cases := []struct{ x, y, want uint8 }{
+		{0, 0, 0},
+		{3, 5, 5},  // close: max
+		{5, 3, 5},  // symmetric
+		{0, 6, 6},  // |x-y| == Γ/2: still max
+		{0, 7, 0},  // |x-y| > Γ/2: min — 0 is ahead of 7 across the wrap
+		{11, 1, 1}, // wrap: 1 is ahead of 11
+		{1, 11, 1}, // symmetric
+		{11, 11, 11},
+		{6, 11, 11}, // |x-y| = 5 ≤ 6: max
+	}
+	for _, c := range cases {
+		if got := MaxGamma(g, c.x, c.y); got != c.want {
+			t.Errorf("MaxGamma(%d, %d, %d) = %d, want %d", g, c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestMaxGammaProperties(t *testing.T) {
+	f := func(gRaw, xRaw, yRaw uint8) bool {
+		g := 4 + 2*uint8(gRaw%100) // even, in [4, 202]
+		x := xRaw % g
+		y := yRaw % g
+		m := MaxGamma(g, x, y)
+		// Result is always one of the inputs.
+		if m != x && m != y {
+			return false
+		}
+		// Commutativity.
+		if m != MaxGamma(g, y, x) {
+			return false
+		}
+		// Idempotence.
+		return MaxGamma(g, x, x) == x
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddGamma(t *testing.T) {
+	cases := []struct{ g, x, d, want uint8 }{
+		{12, 0, 1, 1},
+		{12, 11, 1, 0},
+		{12, 6, 6, 0},
+		{12, 6, 7, 1},
+		{36, 35, 1, 0},
+		{250, 249, 2, 1},
+	}
+	for _, c := range cases {
+		if got := AddGamma(c.g, c.x, c.d); got != c.want {
+			t.Errorf("AddGamma(%d, %d, %d) = %d, want %d", c.g, c.x, c.d, got, c.want)
+		}
+	}
+}
+
+func TestFollowerNeverMovesBackward(t *testing.T) {
+	// A follower either keeps its phase or adopts the initiator's; its
+	// numeric phase only decreases when it wraps past 0.
+	f := func(gRaw, xRaw, yRaw uint8) bool {
+		g := 8 + 2*uint8(gRaw%96)
+		x, y := xRaw%g, yRaw%g
+		next := FollowerNext(g, x, y)
+		if next == x {
+			return true
+		}
+		// If the phase changed it adopted y.
+		if next != y {
+			return false
+		}
+		// Forward move: either numerically larger, or a wrap pass.
+		return next > x || PassedZero(x, next)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJuntaNextAdvances(t *testing.T) {
+	const g = 12
+	// A junta member meeting its own phase advances by one.
+	if got := JuntaNext(g, 5, 5); got != 6 {
+		t.Errorf("JuntaNext(12, 5, 5) = %d, want 6", got)
+	}
+	// At the wrap point.
+	if got := JuntaNext(g, 11, 11); got != 0 {
+		t.Errorf("JuntaNext(12, 11, 11) = %d, want 0", got)
+	}
+	// A junta member far behind adopts the +1 of the initiator.
+	if got := JuntaNext(g, 2, 5); got != 6 {
+		t.Errorf("JuntaNext(12, 2, 5) = %d, want 6", got)
+	}
+}
+
+func TestPassedZero(t *testing.T) {
+	cases := []struct {
+		old, new uint8
+		want     bool
+	}{
+		{11, 0, true},
+		{11, 1, true},
+		{0, 0, false},
+		{3, 7, false},
+		{7, 7, false},
+		{1, 0, true},
+	}
+	for _, c := range cases {
+		if got := PassedZero(c.old, c.new); got != c.want {
+			t.Errorf("PassedZero(%d, %d) = %v", c.old, c.new, got)
+		}
+	}
+}
+
+func TestHalfOf(t *testing.T) {
+	const g = 12
+	cases := []struct {
+		old, new uint8
+		want     Half
+	}{
+		{0, 3, Early},
+		{5, 5, Early},
+		{6, 11, Late},
+		{11, 11, Late},
+		{5, 6, Boundary},
+		{11, 0, Boundary}, // wrap
+		{3, 8, Boundary},
+	}
+	for _, c := range cases {
+		if got := HalfOf(g, c.old, c.new); got != c.want {
+			t.Errorf("HalfOf(%d, %d, %d) = %v, want %v", g, c.old, c.new, got, c.want)
+		}
+	}
+}
+
+func TestHalfString(t *testing.T) {
+	if Early.String() != "early" || Late.String() != "late" || Boundary.String() != "boundary" {
+		t.Fatal("Half.String broken")
+	}
+}

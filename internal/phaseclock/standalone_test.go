@@ -1,0 +1,155 @@
+package phaseclock
+
+import (
+	"math"
+	"testing"
+
+	"popelect/internal/rng"
+	"popelect/internal/sim"
+)
+
+func TestNewStandaloneValidation(t *testing.T) {
+	if _, err := NewStandalone(100, 36, 10); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []struct{ n, g, j int }{
+		{1, 36, 1},   // tiny population
+		{100, 3, 10}, // odd gamma
+		{100, 36, 0}, // empty junta
+		{100, 36, 101},
+	}
+	for _, c := range bad {
+		if _, err := NewStandalone(c.n, c.g, c.j); err == nil {
+			t.Errorf("NewStandalone(%d, %d, %d) should fail", c.n, c.g, c.j)
+		}
+	}
+}
+
+func TestStandalonePacking(t *testing.T) {
+	c, _ := NewStandalone(10, 36, 2)
+	s := c.Init(0)
+	if !c.IsJunta(s) || c.Phase(s) != 0 || c.Rounds(s) != 0 {
+		t.Fatalf("junta init state broken: %x", s)
+	}
+	s = c.Init(5)
+	if c.IsJunta(s) || c.Phase(s) != 0 {
+		t.Fatalf("follower init state broken: %x", s)
+	}
+}
+
+func TestStandaloneDeltaPreservesJuntaFlag(t *testing.T) {
+	c, _ := NewStandalone(10, 12, 2)
+	junta := c.Init(0)
+	follower := c.Init(9)
+	for i := 0; i < 100; i++ {
+		junta, _ = c.Delta(junta, follower)
+		follower, _ = c.Delta(follower, junta)
+		if !c.IsJunta(junta) || c.IsJunta(follower) {
+			t.Fatal("junta flag must never change")
+		}
+	}
+}
+
+func TestStandaloneClockTicks(t *testing.T) {
+	// Two junta agents alone tick each other around the cycle.
+	c, _ := NewStandalone(2, 12, 2)
+	a, b := c.Init(0), c.Init(1)
+	for i := 0; i < 200; i++ {
+		a, _ = c.Delta(a, b)
+		b, _ = c.Delta(b, a)
+	}
+	if c.Rounds(a) == 0 || c.Rounds(b) == 0 {
+		t.Fatalf("clock never wrapped: rounds %d/%d", c.Rounds(a), c.Rounds(b))
+	}
+}
+
+// TestStandaloneSynchrony is the empirical heart of Theorem 3.2: with a
+// junta of size ~n^0.7 the whole population completes rounds in lockstep —
+// at any moment all agents' round counters span at most 2 values, and round
+// lengths concentrate around Θ(n log n) interactions.
+func TestStandaloneSynchrony(t *testing.T) {
+	if testing.Short() {
+		t.Skip("synchrony experiment is long")
+	}
+	n := 4096
+	junta := int(math.Pow(float64(n), 0.7))
+	c, err := NewStandalone(n, 36, junta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sim.NewRunner[uint32, *Standalone](c, rng.New(2024))
+
+	// Let the clock run for 30 expected rounds and sample synchrony.
+	nlogn := float64(n) * math.Log(float64(n))
+	total := uint64(40 * nlogn)
+	sampleEvery := uint64(n)
+	worstSpread := 0
+	for done := uint64(0); done < total; done += sampleEvery {
+		r.RunSteps(sampleEvery)
+		minR, maxR := 1<<30, 0
+		for _, s := range r.Population() {
+			rounds := c.Rounds(s)
+			if rounds < minR {
+				minR = rounds
+			}
+			if rounds > maxR {
+				maxR = rounds
+			}
+		}
+		if spread := maxR - minR; spread > worstSpread {
+			worstSpread = spread
+		}
+	}
+	if worstSpread > 1 {
+		t.Fatalf("round counters diverged by %d; Theorem 3.2 synchrony violated", worstSpread)
+	}
+
+	// The population completed some rounds, and not absurdly many: the
+	// round length must be Ω(n) and O(n log n · const).
+	minRounds := 1 << 30
+	for _, s := range r.Population() {
+		if rr := c.Rounds(s); rr < minRounds {
+			minRounds = rr
+		}
+	}
+	if minRounds < 3 {
+		t.Fatalf("only %d rounds in %d interactions; clock too slow", minRounds, total)
+	}
+	perRound := float64(total) / float64(minRounds)
+	if perRound < float64(n) {
+		t.Fatalf("round length %.0f below n; clock unrealistically fast", perRound)
+	}
+	if perRound > 40*nlogn {
+		t.Fatalf("round length %.0f far above n log n", perRound)
+	}
+}
+
+func TestStandaloneNeverStabilizes(t *testing.T) {
+	c, _ := NewStandalone(16, 12, 4)
+	if c.Stable([]int64{16, 0}) {
+		t.Fatal("clock must never report stability")
+	}
+	if c.Leader(c.Init(0)) {
+		t.Fatal("clock has no leaders")
+	}
+	if c.Name() == "" {
+		t.Fatal("name must be set")
+	}
+	if c.NumClasses() != 2 || c.Class(c.Init(0)) != 1 || c.Class(c.Init(10)) != 0 {
+		t.Fatal("census classes broken")
+	}
+}
+
+func TestStandaloneRoundCounterSaturates(t *testing.T) {
+	c, _ := NewStandalone(2, 4, 2)
+	// Drive one agent to the round-counter cap.
+	s := c.Init(0)
+	peer := c.Init(1)
+	for i := 0; i < (roundMask+8)*4; i++ {
+		s, _ = c.Delta(s, peer)
+		peer, _ = c.Delta(peer, s)
+	}
+	if c.Rounds(s) > roundMask {
+		t.Fatalf("round counter overflowed: %d", c.Rounds(s))
+	}
+}

@@ -1,0 +1,263 @@
+// Package gs18 implements the O(log² n)-time, O(log log n)-state leader
+// election of Gąsieniec & Stachowiak (SODA 2018) as described in the
+// paper's Sections 1 and 4: the whole population runs the forming-a-junta
+// level protocol; the level-Φ agents both drive the phase clock and are the
+// leader candidates; candidates then play clocked rounds of near-fair coin
+// flips (the parity synthetic coin of AAE+17), with "heads were drawn"
+// broadcast by one-way epidemic in the late half of each round and
+// tails-holders withdrawing. From |junta| = n^Θ(1) candidates this takes
+// Θ(log n) halving rounds of Θ(log n) parallel time each — the Θ(log² n)
+// baseline the paper's core protocol is measured against in Table 1.
+//
+// This is a baseline reconstruction from the description in this paper, not
+// a line-by-line port of GS18; it is correct with high probability (a
+// desynchronized clock could in principle eliminate all candidates, which
+// GS18 guards with additional machinery — the core protocol here guards
+// with passives + the drag counter instead).
+package gs18
+
+import (
+	"fmt"
+	"math"
+
+	"popelect/internal/junta"
+	"popelect/internal/phaseclock"
+	"popelect/internal/syntheticcoin"
+)
+
+// Params configures the GS18 baseline.
+type Params struct {
+	N     int
+	Gamma int // phase clock resolution, default 36
+	Phi   int // junta level cap, default ChoosePhi(N)
+}
+
+// DefaultParams returns working parameters for population size n.
+func DefaultParams(n int) Params {
+	return Params{N: n, Gamma: 36, Phi: ChoosePhi(n)}
+}
+
+// ChoosePhi picks the level cap so the predicted junta size C_Φ lands
+// inside Lemma 5.3's window [n^0.45, n^0.77]. With the whole population
+// climbing, every agent reaches level 1 and roughly half reach level 2;
+// from there populations square-decay: c_{ℓ+1} = c_ℓ²/2n.
+func ChoosePhi(n int) int {
+	f := float64(n)
+	low := math.Pow(f, 0.45)
+	c := f / 2 // predicted C_2
+	phi := 2
+	for l := 3; l <= 8; l++ {
+		c = c * c / (2 * f)
+		if c < low {
+			break
+		}
+		phi = l
+	}
+	if phi < 2 {
+		phi = 2
+	}
+	return phi
+}
+
+// State packing (uint32):
+//
+//	bits  0..7   phase
+//	bits  8..11  level
+//	bit  12      level climbing stopped
+//	bit  13      parity (synthetic coin)
+//	bit  14      candidate
+//	bits 15..16  flip (0 none, 1 heads, 2 tails)
+//	bit  17      headsSeen
+//	bits 18..19  warm-up rounds before flipping
+const (
+	phaseMask    = 0xff
+	levelShift   = 8
+	levelMask    = 0xf
+	stopBit      = 1 << 12
+	parityBit    = 1 << 13
+	candBit      = 1 << 14
+	flipShift    = 15
+	flipMask     = 0x3
+	headsSeenBit = 1 << 17
+	warmShift    = 18
+	warmMask     = 0x3
+)
+
+// Flip values.
+const (
+	flipNone uint32 = iota
+	flipHeads
+	flipTails
+)
+
+const warmupRounds = 2
+
+// Protocol implements sim.Protocol.
+type Protocol struct {
+	params Params
+	gamma  uint8
+	phi    uint8
+}
+
+// New builds a GS18 instance.
+func New(p Params) (*Protocol, error) {
+	if p.N < 2 {
+		return nil, fmt.Errorf("gs18: population %d < 2", p.N)
+	}
+	if err := phaseclock.Validate(p.Gamma); err != nil {
+		return nil, err
+	}
+	if p.Phi < 2 || p.Phi > 15 {
+		return nil, fmt.Errorf("gs18: Phi %d out of [2, 15]", p.Phi)
+	}
+	return &Protocol{params: p, gamma: uint8(p.Gamma), phi: uint8(p.Phi)}, nil
+}
+
+// MustNew is New for known-good parameters.
+func MustNew(p Params) *Protocol {
+	pr, err := New(p)
+	if err != nil {
+		panic(err)
+	}
+	return pr
+}
+
+// Accessors used by tests and experiments.
+
+// Level extracts the junta level.
+func (pr *Protocol) Level(s uint32) uint8 { return uint8(s >> levelShift & levelMask) }
+
+// Candidate reports whether the agent is a live leader candidate.
+func (pr *Protocol) Candidate(s uint32) bool { return s&candBit != 0 }
+
+// Name implements sim.Protocol.
+func (pr *Protocol) Name() string {
+	return fmt.Sprintf("gs18(Γ=%d,Φ=%d)", pr.params.Gamma, pr.params.Phi)
+}
+
+// N implements sim.Protocol.
+func (pr *Protocol) N() int { return pr.params.N }
+
+// Init implements sim.Protocol.
+func (pr *Protocol) Init(int) uint32 { return 0 }
+
+// Delta implements sim.Protocol.
+func (pr *Protocol) Delta(r, i uint32) (uint32, uint32) {
+	oldPhase := uint8(r & phaseMask)
+	iPhase := uint8(i & phaseMask)
+	var newPhase uint8
+	if pr.Level(r) == pr.phi {
+		newPhase = phaseclock.JuntaNext(pr.gamma, oldPhase, iPhase)
+	} else {
+		newPhase = phaseclock.FollowerNext(pr.gamma, oldPhase, iPhase)
+	}
+	passed := phaseclock.PassedZero(oldPhase, newPhase)
+	half := phaseclock.HalfOf(pr.gamma, oldPhase, newPhase)
+
+	nr := r&^uint32(phaseMask) | uint32(newPhase)
+
+	// The responder toggles its parity bit every interaction (AAE+17).
+	nr ^= parityBit
+
+	// Level climbing; reaching Φ makes the agent a candidate (with a
+	// warm-up before it joins the coin rounds).
+	if nr&stopBit == 0 {
+		oldLevel := pr.Level(nr)
+		lvl, mode := junta.Next(oldLevel, junta.Advancing, true, pr.Level(i), pr.phi)
+		nr = nr&^uint32(levelMask<<levelShift) | uint32(lvl)<<levelShift
+		if mode == junta.Stopped {
+			nr |= stopBit
+		}
+		if lvl == pr.phi && oldLevel != pr.phi {
+			nr |= candBit
+			nr = nr&^uint32(warmMask<<warmShift) | warmupRounds<<warmShift
+		}
+	}
+
+	// Round reset on a pass through 0.
+	if passed {
+		nr &^= uint32(flipMask << flipShift)
+		nr &^= uint32(headsSeenBit)
+		if w := nr >> warmShift & warmMask; w > 0 {
+			nr = nr&^uint32(warmMask<<warmShift) | (w-1)<<warmShift
+		}
+	}
+
+	// Early half: a warm candidate flips the parity coin once per round.
+	if nr&candBit != 0 && half == phaseclock.Early &&
+		nr>>flipShift&flipMask == flipNone && nr>>warmShift&warmMask == 0 {
+		if syntheticcoin.Read(uint8(i >> 13 & 1)) {
+			nr |= flipHeads << flipShift
+			nr |= headsSeenBit
+		} else {
+			nr |= flipTails << flipShift
+		}
+	}
+
+	// Late half: "heads exist" spreads by one-way epidemic; a tails
+	// candidate that learns of heads withdraws.
+	if half == phaseclock.Late && nr&headsSeenBit == 0 && i&headsSeenBit != 0 {
+		nr |= headsSeenBit
+		if nr&candBit != 0 && nr>>flipShift&flipMask == flipTails {
+			nr &^= uint32(candBit)
+		}
+	}
+
+	// Backup duel: two candidates meeting eliminate one directly (heads
+	// beats none beats tails; ties eliminate the initiator).
+	ni := i
+	if nr&candBit != 0 && i&candBit != 0 {
+		if flipRank(i>>flipShift&flipMask) > flipRank(nr>>flipShift&flipMask) {
+			nr &^= uint32(candBit)
+		} else {
+			ni = i &^ uint32(candBit)
+		}
+	}
+	return nr, ni
+}
+
+func flipRank(f uint32) int {
+	switch f {
+	case flipHeads:
+		return 2
+	case flipNone:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Census classes.
+const (
+	// ClassClimbing agents may still reach level Φ and become candidates.
+	ClassClimbing = iota
+	// ClassFollower agents can never become candidates again.
+	ClassFollower
+	// ClassCandidate agents are live leader candidates.
+	ClassCandidate
+	numClasses
+)
+
+// NumClasses implements sim.Protocol.
+func (pr *Protocol) NumClasses() int { return numClasses }
+
+// Class implements sim.Protocol.
+func (pr *Protocol) Class(s uint32) uint8 {
+	switch {
+	case s&candBit != 0:
+		return ClassCandidate
+	case s&stopBit == 0 && pr.Level(s) < pr.phi:
+		return ClassClimbing
+	default:
+		return ClassFollower
+	}
+}
+
+// Leader implements sim.Protocol.
+func (pr *Protocol) Leader(s uint32) bool { return s&candBit != 0 }
+
+// Stable implements sim.Protocol: one candidate left and no agent that
+// could still become one.
+func (pr *Protocol) Stable(counts []int64) bool {
+	return counts[ClassCandidate] == 1 && counts[ClassClimbing] == 0
+}

@@ -1,0 +1,164 @@
+package gs18
+
+import (
+	"math"
+	"testing"
+
+	"popelect/internal/junta"
+	"popelect/internal/rng"
+	"popelect/internal/sim"
+	"popelect/internal/stats"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(DefaultParams(1024)); err != nil {
+		t.Fatalf("default params rejected: %v", err)
+	}
+	bad := []Params{
+		{N: 1, Gamma: 36, Phi: 3},
+		{N: 100, Gamma: 7, Phi: 3},
+		{N: 100, Gamma: 36, Phi: 1},
+		{N: 100, Gamma: 36, Phi: 16},
+	}
+	for _, p := range bad {
+		if _, err := New(p); err == nil {
+			t.Errorf("New(%+v) should fail", p)
+		}
+	}
+}
+
+func TestChoosePhi(t *testing.T) {
+	for _, n := range []int{256, 1 << 10, 1 << 14, 1 << 17, 1 << 20} {
+		phi := ChoosePhi(n)
+		if phi < 2 || phi > 8 {
+			t.Errorf("ChoosePhi(%d) = %d out of range", n, phi)
+		}
+	}
+	// Larger populations should not need smaller caps.
+	if ChoosePhi(1<<20) < ChoosePhi(1<<10) {
+		t.Error("Phi should grow (weakly) with n")
+	}
+}
+
+func TestElectsOneLeader(t *testing.T) {
+	for _, n := range []int{64, 256, 1024} {
+		pr := MustNew(DefaultParams(n))
+		rs := sim.RunTrials[uint32, *Protocol](func(int) *Protocol { return pr },
+			sim.TrialConfig{Trials: 10, Seed: uint64(n)})
+		for i, res := range rs {
+			if !res.Converged || res.Leaders != 1 {
+				t.Fatalf("n=%d trial %d: %+v", n, i, res)
+			}
+		}
+	}
+}
+
+func TestJuntaSizeInWindow(t *testing.T) {
+	n := 1 << 13
+	pr := MustNew(DefaultParams(n))
+	r := sim.NewRunner[uint32, *Protocol](pr, rng.New(5))
+	res := r.Run()
+	if !res.Converged {
+		t.Fatalf("%+v", res)
+	}
+	cnt := 0
+	for _, s := range r.Population() {
+		if pr.Level(s) == uint8(pr.params.Phi) {
+			cnt++
+		}
+	}
+	lo, hi := junta.JuntaSizeBounds(n)
+	if float64(cnt) < lo/3 || float64(cnt) > 3*hi {
+		t.Fatalf("junta size %d outside [%v, %v]", cnt, lo/3, 3*hi)
+	}
+}
+
+func TestCandidateCountMonotoneAfterClimb(t *testing.T) {
+	// Once no agent is climbing, the candidate count never increases.
+	pr := MustNew(DefaultParams(512))
+	r := sim.NewRunner[uint32, *Protocol](pr, rng.New(7))
+	prevCand := int64(-1)
+	climbed := false
+	r.AddHook(func(step uint64, ri, ii int, oldR, oldI, newR, newI uint32) {
+		c := r.Counts()
+		if c[ClassClimbing] == 0 {
+			if climbed && c[ClassCandidate] > prevCand {
+				t.Fatalf("step %d: candidates rose %d → %d after climbing ended",
+					step, prevCand, c[ClassCandidate])
+			}
+			climbed = true
+			prevCand = c[ClassCandidate]
+		}
+	})
+	res := r.Run()
+	if !res.Converged {
+		t.Fatalf("%+v", res)
+	}
+}
+
+func TestStatesAreLogLog(t *testing.T) {
+	// GS18 uses O(log log n) states: far fewer distinct states than the
+	// O(log n)-state lottery at the same n (checked against a loose
+	// absolute bound here; the cross-protocol comparison is in Table 1).
+	pr := MustNew(DefaultParams(1 << 12))
+	r := sim.NewRunner[uint32, *Protocol](pr, rng.New(11))
+	r.TrackStates = true
+	res := r.Run()
+	if !res.Converged {
+		t.Fatalf("%+v", res)
+	}
+	// Γ·(levels·2 + candidate machinery) with Γ=36, Φ=3: well under 2000.
+	if res.DistinctStates > 2000 {
+		t.Fatalf("distinct states = %d, too many", res.DistinctStates)
+	}
+	if res.DistinctStates < 36 {
+		t.Fatalf("distinct states = %d, implausibly few", res.DistinctStates)
+	}
+}
+
+func TestPolylogTime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling test")
+	}
+	mean := func(n int) float64 {
+		pr := MustNew(DefaultParams(n))
+		rs := sim.RunTrials[uint32, *Protocol](func(int) *Protocol { return pr },
+			sim.TrialConfig{Trials: 5, Seed: uint64(n)})
+		if !sim.AllConverged(rs) {
+			t.Fatalf("n=%d not converged", n)
+		}
+		return stats.Mean(sim.ParallelTimes(rs))
+	}
+	t1 := mean(1 << 10)
+	t16 := mean(1 << 14)
+	// Θ(log² n): 16× population → (14/10)² ≈ 2× parallel time at most,
+	// far from linear growth.
+	if t16 > 6*t1 {
+		t.Fatalf("parallel time grew %0.f → %.0f over 16× n", t1, t16)
+	}
+	// And the absolute scale is polylogarithmic, nowhere near Θ(n).
+	if t16 > float64(1<<14) {
+		t.Fatalf("parallel time %.0f exceeds n", t16)
+	}
+	_ = math.Log
+}
+
+func TestMetadata(t *testing.T) {
+	pr := MustNew(DefaultParams(128))
+	if pr.Name() == "" || pr.N() != 128 || pr.NumClasses() != 3 {
+		t.Fatal("metadata broken")
+	}
+	if pr.Init(0) != 0 {
+		t.Fatal("agents start at zero state")
+	}
+	if pr.Leader(pr.Init(0)) {
+		t.Fatal("initial agents are not candidates")
+	}
+	s := uint32(candBit)
+	if !pr.Leader(s) || pr.Class(s) != ClassCandidate {
+		t.Fatal("candidate classification broken")
+	}
+	if !pr.Stable([]int64{0, 127, 1}) || pr.Stable([]int64{1, 126, 1}) || pr.Stable([]int64{0, 126, 2}) {
+		t.Fatal("stability predicate broken")
+	}
+}

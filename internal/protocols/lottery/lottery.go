@@ -1,0 +1,288 @@
+// Package lottery implements a BKKO18-style leader election (Berenbrink,
+// Kaaser, Kling & Otterbach, SOSA 2018, as described in the paper's related
+// work): every agent draws a geometric rank with the parity synthetic coin
+// (count heads until the first tails, capped at 2·log₂ n — so Θ(log n)
+// states), the maximum rank spreads by one-way epidemic and lower-ranked
+// candidates withdraw, and the surviving max-rank candidates tie-break with
+// clocked near-fair coin rounds exactly like GS18. The clock junta is the
+// set of agents with rank ≥ 0.4·log₂ n (≈ n^0.6 agents).
+//
+// The protocol uses O(log n) states and stabilizes in O(log² n) parallel
+// time with high probability — the [BKKO18]/[AAG18] row of Table 1.
+package lottery
+
+import (
+	"fmt"
+	"math"
+
+	"popelect/internal/phaseclock"
+	"popelect/internal/syntheticcoin"
+)
+
+// Params configures the lottery baseline.
+type Params struct {
+	N           int
+	Gamma       int // phase clock resolution, default 36
+	MaxRank     int // rank cap, default 2·⌈log₂ n⌉ (≤ 63)
+	JuntaRank   int // clock-junta rank threshold, default ⌈0.4·log₂ n⌉
+	WarmupReads int // interactions before ranking starts, default 5
+}
+
+// DefaultParams returns working parameters for population size n.
+func DefaultParams(n int) Params {
+	log2 := math.Log2(float64(n))
+	maxRank := 2 * int(math.Ceil(log2))
+	if maxRank > 63 {
+		maxRank = 63
+	}
+	if maxRank < 4 {
+		maxRank = 4
+	}
+	jr := int(math.Ceil(0.4 * log2))
+	if jr < 2 {
+		jr = 2
+	}
+	return Params{N: n, Gamma: 36, MaxRank: maxRank, JuntaRank: jr, WarmupReads: 5}
+}
+
+// State packing (uint32):
+//
+//	bits  0..7   phase
+//	bits  8..13  rank
+//	bits 14..19  maxSeen (largest finished rank heard of)
+//	bit  20      rankDone
+//	bit  21      candidate
+//	bit  22      parity
+//	bits 23..24  flip
+//	bit  25      headsSeen
+//	bits 26..28  warm-up interactions before ranking
+//	bits 29..30  warm-up rounds before coin flipping
+const (
+	phaseMask      = 0xff
+	rankShift      = 8
+	rankMask       = 0x3f
+	maxSeenShift   = 14
+	maxSeenMask    = 0x3f
+	doneBit        = 1 << 20
+	candBit        = 1 << 21
+	parityBit      = 1 << 22
+	flipShift      = 23
+	flipMask       = 0x3
+	headsSeenBit   = 1 << 25
+	warmShift      = 26
+	warmMask       = 0x7
+	roundWarmShift = 29
+	roundWarmMask  = 0x3
+)
+
+// Flip values.
+const (
+	flipNone uint32 = iota
+	flipHeads
+	flipTails
+)
+
+const flipWarmupRounds = 2
+
+// Protocol implements sim.Protocol.
+type Protocol struct {
+	params    Params
+	gamma     uint8
+	maxRank   uint32
+	juntaRank uint32
+}
+
+// New builds a lottery instance.
+func New(p Params) (*Protocol, error) {
+	if p.N < 2 {
+		return nil, fmt.Errorf("lottery: population %d < 2", p.N)
+	}
+	if err := phaseclock.Validate(p.Gamma); err != nil {
+		return nil, err
+	}
+	if p.MaxRank < 2 || p.MaxRank > 63 {
+		return nil, fmt.Errorf("lottery: MaxRank %d out of [2, 63]", p.MaxRank)
+	}
+	if p.JuntaRank < 1 || p.JuntaRank >= p.MaxRank {
+		return nil, fmt.Errorf("lottery: JuntaRank %d out of [1, MaxRank)", p.JuntaRank)
+	}
+	if p.WarmupReads < 0 || p.WarmupReads > 7 {
+		return nil, fmt.Errorf("lottery: WarmupReads %d out of [0, 7]", p.WarmupReads)
+	}
+	return &Protocol{
+		params:    p,
+		gamma:     uint8(p.Gamma),
+		maxRank:   uint32(p.MaxRank),
+		juntaRank: uint32(p.JuntaRank),
+	}, nil
+}
+
+// MustNew is New for known-good parameters.
+func MustNew(p Params) *Protocol {
+	pr, err := New(p)
+	if err != nil {
+		panic(err)
+	}
+	return pr
+}
+
+// Rank extracts an agent's rank.
+func (pr *Protocol) Rank(s uint32) uint32 { return s >> rankShift & rankMask }
+
+// RankDone reports whether an agent has finished drawing its rank.
+func (pr *Protocol) RankDone(s uint32) bool { return s&doneBit != 0 }
+
+// Candidate reports whether an agent is a live candidate.
+func (pr *Protocol) Candidate(s uint32) bool { return s&candBit != 0 }
+
+// Name implements sim.Protocol.
+func (pr *Protocol) Name() string {
+	return fmt.Sprintf("lottery(BKKO18,R=%d)", pr.params.MaxRank)
+}
+
+// N implements sim.Protocol.
+func (pr *Protocol) N() int { return pr.params.N }
+
+// Init implements sim.Protocol: everyone is a candidate with warm-up reads
+// pending.
+func (pr *Protocol) Init(int) uint32 {
+	return candBit | uint32(pr.params.WarmupReads)<<warmShift
+}
+
+// Delta implements sim.Protocol.
+func (pr *Protocol) Delta(r, i uint32) (uint32, uint32) {
+	oldPhase := uint8(r & phaseMask)
+	var newPhase uint8
+	if r&doneBit != 0 && pr.Rank(r) >= pr.juntaRank {
+		newPhase = phaseclock.JuntaNext(pr.gamma, oldPhase, uint8(i&phaseMask))
+	} else {
+		newPhase = phaseclock.FollowerNext(pr.gamma, oldPhase, uint8(i&phaseMask))
+	}
+	passed := phaseclock.PassedZero(oldPhase, newPhase)
+	half := phaseclock.HalfOf(pr.gamma, oldPhase, newPhase)
+
+	nr := r&^uint32(phaseMask) | uint32(newPhase)
+	nr ^= parityBit // synthetic coin toggle
+
+	coin := syntheticcoin.Read(uint8(i >> 22 & 1))
+
+	switch {
+	case nr>>warmShift&warmMask > 0:
+		// Warm-up reads let the parity coin mix before ranking.
+		w := nr >> warmShift & warmMask
+		nr = nr&^uint32(warmMask<<warmShift) | (w-1)<<warmShift
+	case nr&doneBit == 0:
+		// Geometric ranking: count heads until the first tails.
+		if coin && pr.Rank(nr) < pr.maxRank {
+			nr += 1 << rankShift
+		} else {
+			nr |= doneBit
+			nr = nr&^uint32(roundWarmMask<<roundWarmShift) | flipWarmupRounds<<roundWarmShift
+			if rk := pr.Rank(nr); rk > nr>>maxSeenShift&maxSeenMask {
+				nr = nr&^uint32(maxSeenMask<<maxSeenShift) | rk<<maxSeenShift
+			}
+		}
+	}
+
+	// Max-rank epidemic: adopt the initiator's maxSeen.
+	if ms := i >> maxSeenShift & maxSeenMask; ms > nr>>maxSeenShift&maxSeenMask {
+		nr = nr&^uint32(maxSeenMask<<maxSeenShift) | ms<<maxSeenShift
+	}
+
+	// A finished candidate that has heard of a strictly larger rank
+	// withdraws.
+	if nr&candBit != 0 && nr&doneBit != 0 && nr>>maxSeenShift&maxSeenMask > pr.Rank(nr) {
+		nr &^= uint32(candBit)
+	}
+
+	// Round reset on a pass through 0.
+	if passed {
+		nr &^= uint32(flipMask << flipShift)
+		nr &^= uint32(headsSeenBit)
+		if w := nr >> roundWarmShift & roundWarmMask; w > 0 {
+			nr = nr&^uint32(roundWarmMask<<roundWarmShift) | (w-1)<<roundWarmShift
+		}
+	}
+
+	// Clocked coin rounds among the surviving max-rank candidates, as in
+	// GS18: flip early…
+	if nr&candBit != 0 && nr&doneBit != 0 && half == phaseclock.Early &&
+		nr>>flipShift&flipMask == flipNone && nr>>roundWarmShift&roundWarmMask == 0 {
+		if coin {
+			nr |= flipHeads << flipShift
+			nr |= headsSeenBit
+		} else {
+			nr |= flipTails << flipShift
+		}
+	}
+
+	// …broadcast late; tails-holders that hear of heads withdraw.
+	if half == phaseclock.Late && nr&headsSeenBit == 0 && i&headsSeenBit != 0 {
+		nr |= headsSeenBit
+		if nr&candBit != 0 && nr>>flipShift&flipMask == flipTails {
+			nr &^= uint32(candBit)
+		}
+	}
+
+	// Backup duel between two finished candidates: higher rank wins, then
+	// heads > none > tails, then the initiator loses.
+	ni := i
+	if nr&candBit != 0 && nr&doneBit != 0 && i&candBit != 0 && i&doneBit != 0 {
+		switch {
+		case pr.Rank(i) > pr.Rank(nr):
+			nr &^= uint32(candBit)
+		case pr.Rank(i) < pr.Rank(nr):
+			ni = i &^ uint32(candBit)
+		case flipRank(i>>flipShift&flipMask) > flipRank(nr>>flipShift&flipMask):
+			nr &^= uint32(candBit)
+		default:
+			ni = i &^ uint32(candBit)
+		}
+	}
+	return nr, ni
+}
+
+func flipRank(f uint32) int {
+	switch f {
+	case flipHeads:
+		return 2
+	case flipNone:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Census classes.
+const (
+	// ClassRanking agents have not finished drawing their rank.
+	ClassRanking = iota
+	// ClassFollower agents are finished non-candidates.
+	ClassFollower
+	// ClassCandidate agents are finished live candidates.
+	ClassCandidate
+	numClasses
+)
+
+// NumClasses implements sim.Protocol.
+func (pr *Protocol) NumClasses() int { return numClasses }
+
+// Class implements sim.Protocol.
+func (pr *Protocol) Class(s uint32) uint8 {
+	switch {
+	case s&doneBit == 0:
+		return ClassRanking
+	case s&candBit != 0:
+		return ClassCandidate
+	default:
+		return ClassFollower
+	}
+}
+
+// Leader implements sim.Protocol: a finished live candidate.
+func (pr *Protocol) Leader(s uint32) bool { return s&candBit != 0 && s&doneBit != 0 }
+
+// Stable implements sim.Protocol.
+func (pr *Protocol) Stable(counts []int64) bool {
+	return counts[ClassCandidate] == 1 && counts[ClassRanking] == 0
+}

@@ -1,0 +1,97 @@
+package rng
+
+import "math/bits"
+
+// Uintn returns a uniform pseudo-random integer in [0, n). It panics if
+// n == 0. The implementation is Lemire's multiply-shift method with the
+// near-divisionless rejection step, which avoids a modulo in the common case.
+func (s *Source) Uintn(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uintn with n == 0")
+	}
+	x := s.Uint64()
+	hi, lo := bits.Mul64(x, n)
+	if lo < n {
+		thresh := (-n) % n
+		for lo < thresh {
+			x = s.Uint64()
+			hi, lo = bits.Mul64(x, n)
+		}
+	}
+	return hi
+}
+
+// Intn returns a uniform pseudo-random integer in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with n <= 0")
+	}
+	return int(s.Uintn(uint64(n)))
+}
+
+// Pair returns an ordered pair (a, b) of distinct indices drawn uniformly at
+// random from [0, n) x [0, n), a != b. This is the random scheduler of the
+// population-protocol model: a is the responder, b the initiator. It panics
+// if n < 2.
+func (s *Source) Pair(n int) (a, b int) {
+	if n < 2 {
+		panic("rng: Pair with n < 2")
+	}
+	a = int(s.Uintn(uint64(n)))
+	b = int(s.Uintn(uint64(n - 1)))
+	if b >= a {
+		b++
+	}
+	return a, b
+}
+
+// Float64 returns a uniform pseudo-random float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Bernoulli returns true with probability p.
+func (s *Source) Bernoulli(p float64) bool {
+	return s.Float64() < p
+}
+
+// Coin returns a fair pseudo-random bit.
+func (s *Source) Coin() bool {
+	return s.Uint64()&1 == 1
+}
+
+// Geometric returns the number of failures before the first success in
+// independent Bernoulli(p) trials, i.e. a sample of the geometric
+// distribution with support {0, 1, 2, ...}. It panics if p <= 0 or p > 1.
+func (s *Source) Geometric(p float64) int {
+	if p <= 0 || p > 1 {
+		panic("rng: Geometric with p out of (0, 1]")
+	}
+	k := 0
+	for !s.Bernoulli(p) {
+		k++
+	}
+	return k
+}
+
+// Perm returns a pseudo-random permutation of [0, n) as a slice, using the
+// Fisher-Yates shuffle.
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle pseudo-randomly permutes the n elements addressed by swap.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}

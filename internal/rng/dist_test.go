@@ -1,0 +1,213 @@
+package rng
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestUintnRange(t *testing.T) {
+	s := New(5)
+	for _, n := range []uint64{1, 2, 3, 7, 100, 1 << 33} {
+		for i := 0; i < 1000; i++ {
+			if v := s.Uintn(n); v >= n {
+				t.Fatalf("Uintn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestUintnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uintn(0) must panic")
+		}
+	}()
+	New(1).Uintn(0)
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	for _, n := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Intn(%d) must panic", n)
+				}
+			}()
+			New(1).Intn(n)
+		}()
+	}
+}
+
+// TestUintnUniform checks uniformity of Uintn with a chi-square test at a
+// generous threshold: for k=16 cells the 99.9%-quantile of chi2(15) is ~37.7.
+func TestUintnUniform(t *testing.T) {
+	s := New(17)
+	const k = 16
+	const trials = 160000
+	var counts [k]int
+	for i := 0; i < trials; i++ {
+		counts[s.Uintn(k)]++
+	}
+	expected := float64(trials) / k
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > 37.7 {
+		t.Fatalf("chi-square = %.2f exceeds 37.7; counts = %v", chi2, counts)
+	}
+}
+
+func TestPairProperties(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := New(seed)
+		for _, n := range []int{2, 3, 10, 1000} {
+			a, b := s.Pair(n)
+			if a == b || a < 0 || b < 0 || a >= n || b >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPairUniformOverOrderedPairs(t *testing.T) {
+	// For n = 4 there are 12 ordered pairs; each should appear with
+	// frequency 1/12.
+	s := New(23)
+	const n = 4
+	const trials = 120000
+	counts := map[[2]int]int{}
+	for i := 0; i < trials; i++ {
+		a, b := s.Pair(n)
+		counts[[2]int{a, b}]++
+	}
+	if len(counts) != n*(n-1) {
+		t.Fatalf("observed %d distinct ordered pairs, want %d", len(counts), n*(n-1))
+	}
+	expected := float64(trials) / float64(n*(n-1))
+	for pair, c := range counts {
+		if math.Abs(float64(c)-expected) > 5*math.Sqrt(expected) {
+			t.Errorf("pair %v count %d deviates from expectation %.0f", pair, c, expected)
+		}
+	}
+}
+
+func TestPairPanicsOnSmallN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pair(1) must panic")
+		}
+	}()
+	New(1).Pair(1)
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(31)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestBernoulliMean(t *testing.T) {
+	s := New(37)
+	for _, p := range []float64{0.1, 0.25, 0.5, 0.9} {
+		hits := 0
+		const trials = 100000
+		for i := 0; i < trials; i++ {
+			if s.Bernoulli(p) {
+				hits++
+			}
+		}
+		got := float64(hits) / trials
+		if math.Abs(got-p) > 0.01 {
+			t.Errorf("Bernoulli(%v) mean %.4f", p, got)
+		}
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	s := New(41)
+	p := 0.25
+	const trials = 50000
+	sum := 0
+	for i := 0; i < trials; i++ {
+		sum += s.Geometric(p)
+	}
+	mean := float64(sum) / trials
+	want := (1 - p) / p // mean of geometric counting failures
+	if math.Abs(mean-want) > 0.1 {
+		t.Fatalf("Geometric(%v) mean %.3f, want %.3f", p, mean, want)
+	}
+}
+
+func TestGeometricPanics(t *testing.T) {
+	for _, p := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Geometric(%v) must panic", p)
+				}
+			}()
+			New(1).Geometric(p)
+		}()
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(43)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := s.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		q := append([]int(nil), p...)
+		sort.Ints(q)
+		for i, v := range q {
+			if v != i {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+		}
+	}
+}
+
+func TestShuffleKeepsMultiset(t *testing.T) {
+	s := New(47)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	s.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, x := range xs {
+		got += x
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed the multiset: %v", xs)
+	}
+}
+
+func TestCoinFair(t *testing.T) {
+	s := New(53)
+	heads := 0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		if s.Coin() {
+			heads++
+		}
+	}
+	frac := float64(heads) / trials
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Fatalf("Coin heads fraction %.4f", frac)
+	}
+}

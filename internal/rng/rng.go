@@ -1,0 +1,93 @@
+// Package rng provides a fast, deterministic pseudo-random number generator
+// for population-protocol simulations.
+//
+// The generator is xoshiro256++ (Blackman & Vigna), seeded through SplitMix64
+// so that any 64-bit seed yields a well-mixed state. It is not safe for
+// concurrent use; simulations create one generator per trial via NewStream,
+// which derives statistically independent streams from a base seed.
+package rng
+
+// Source is a xoshiro256++ pseudo-random generator. The zero value is not a
+// valid generator; use New or NewStream.
+type Source struct {
+	s0, s1, s2, s3 uint64
+}
+
+// splitMix64 advances x by the SplitMix64 sequence and returns the next
+// output. It is used only for seeding.
+func splitMix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator seeded from the given 64-bit seed.
+func New(seed uint64) *Source {
+	var s Source
+	s.Seed(seed)
+	return &s
+}
+
+// NewStream returns a generator for the stream-th independent stream derived
+// from seed. Distinct stream indices give generators whose state words are
+// produced by disjoint portions of a SplitMix64 sequence, which is the
+// standard way to split xoshiro-family seeds.
+func NewStream(seed uint64, stream uint64) *Source {
+	x := seed
+	// Mix the stream index in through two SplitMix64 steps so that
+	// (seed, stream) pairs map to well-separated seed points.
+	x ^= splitMix64(&stream)
+	x += 0x9e3779b97f4a7c15 * (stream + 1)
+	return New(x)
+}
+
+// Seed resets the generator state from a 64-bit seed.
+func (s *Source) Seed(seed uint64) {
+	x := seed
+	s.s0 = splitMix64(&x)
+	s.s1 = splitMix64(&x)
+	s.s2 = splitMix64(&x)
+	s.s3 = splitMix64(&x)
+	// The all-zero state is invalid for xoshiro; SplitMix64 outputs are
+	// never all zero for four consecutive draws, but guard regardless.
+	if s.s0|s.s1|s.s2|s.s3 == 0 {
+		s.s0 = 0x9e3779b97f4a7c15
+	}
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (s *Source) Uint64() uint64 {
+	r := rotl(s.s0+s.s3, 23) + s.s0
+	t := s.s1 << 17
+	s.s2 ^= s.s0
+	s.s3 ^= s.s1
+	s.s1 ^= s.s2
+	s.s0 ^= s.s3
+	s.s2 ^= t
+	s.s3 = rotl(s.s3, 45)
+	return r
+}
+
+// Jump advances the generator by 2^128 steps, equivalent to that many calls
+// to Uint64. It can be used to partition one seed into long non-overlapping
+// subsequences.
+func (s *Source) Jump() {
+	jump := [4]uint64{0x180ec6d33cfd0aba, 0xd5a61266f0c9392c, 0xa9582618e03fc9aa, 0x39abdc4529b1661c}
+	var t0, t1, t2, t3 uint64
+	for _, j := range jump {
+		for b := uint(0); b < 64; b++ {
+			if j&(1<<b) != 0 {
+				t0 ^= s.s0
+				t1 ^= s.s1
+				t2 ^= s.s2
+				t3 ^= s.s3
+			}
+			s.Uint64()
+		}
+	}
+	s.s0, s.s1, s.s2, s.s3 = t0, t1, t2, t3
+}

@@ -1,0 +1,44 @@
+package sim
+
+// Override wraps a protocol and replaces its initial configuration. It is
+// the tool for adversarial and failure-injection testing: start a protocol
+// from a corrupted or mid-execution configuration and observe whether it
+// still reaches its specification.
+//
+// The wrapped protocol's transition function, census and stability
+// predicate are untouched.
+type Override[S comparable, P Protocol[S]] struct {
+	// Inner is the wrapped protocol.
+	Inner P
+	// Initial returns the initial state of agent i.
+	Initial func(i int) S
+}
+
+// NewOverride wraps proto with a custom initial configuration.
+func NewOverride[S comparable, P Protocol[S]](proto P, initial func(i int) S) *Override[S, P] {
+	return &Override[S, P]{Inner: proto, Initial: initial}
+}
+
+// Name implements Protocol.
+func (o *Override[S, P]) Name() string { return o.Inner.Name() + "+override" }
+
+// N implements Protocol.
+func (o *Override[S, P]) N() int { return o.Inner.N() }
+
+// Init implements Protocol using the override.
+func (o *Override[S, P]) Init(i int) S { return o.Initial(i) }
+
+// Delta implements Protocol.
+func (o *Override[S, P]) Delta(r, i S) (S, S) { return o.Inner.Delta(r, i) }
+
+// NumClasses implements Protocol.
+func (o *Override[S, P]) NumClasses() int { return o.Inner.NumClasses() }
+
+// Class implements Protocol.
+func (o *Override[S, P]) Class(s S) uint8 { return o.Inner.Class(s) }
+
+// Leader implements Protocol.
+func (o *Override[S, P]) Leader(s S) bool { return o.Inner.Leader(s) }
+
+// Stable implements Protocol.
+func (o *Override[S, P]) Stable(counts []int64) bool { return o.Inner.Stable(counts) }

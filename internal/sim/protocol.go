@@ -1,0 +1,68 @@
+// Package sim implements the probabilistic population-protocol execution
+// model of Angluin et al. (PODC 2004), as used by the paper: a population of
+// n indistinguishable agents, a uniform random scheduler that draws one
+// ordered pair (responder, initiator) per step, and a deterministic
+// transition function applied to the pair.
+//
+// The engine is generic over the (packed) agent state type so that protocol
+// transition functions are statically dispatched and states stay in a flat
+// array, which keeps simulations at tens of millions of interactions per
+// second.
+package sim
+
+// Protocol describes a population protocol over packed states of type S.
+//
+// Implementations must be pure: Delta must depend only on its arguments,
+// never on mutable protocol fields, so that runs are reproducible and
+// trials can execute concurrently while sharing one Protocol value.
+type Protocol[S comparable] interface {
+	// Name identifies the protocol in reports.
+	Name() string
+
+	// N returns the population size the protocol was configured for.
+	N() int
+
+	// Init returns the initial state of agent i. Population protocols
+	// typically start all agents in the same state, but the index allows
+	// seeded initial configurations (e.g. majority with a given split).
+	Init(i int) S
+
+	// Delta is the transition function for one interaction. The first
+	// argument is the responder, the second the initiator (the paper's
+	// ordered-pair convention). It returns their successor states.
+	Delta(responder, initiator S) (S, S)
+
+	// NumClasses returns how many census classes Class may return.
+	NumClasses() int
+
+	// Class maps a state to a small census class index in
+	// [0, NumClasses()). The runner maintains per-class counts
+	// incrementally; Stable receives them.
+	Class(S) uint8
+
+	// Leader reports whether a state maps to the leader output.
+	Leader(S) bool
+
+	// Stable reports whether a configuration with the given class counts
+	// has stabilized: the output of every agent can no longer change.
+	// Implementations must make this predicate absorbing — once true for
+	// a reachable configuration it must remain true for all successor
+	// configurations — because the runner stops at the first hit.
+	Stable(counts []int64) bool
+}
+
+// Output is the two-valued output map of leader election.
+type Output uint8
+
+// Leader election outputs.
+const (
+	Follower Output = iota
+	Leader
+)
+
+func (o Output) String() string {
+	if o == Leader {
+		return "leader"
+	}
+	return "follower"
+}

@@ -1,0 +1,49 @@
+package sim
+
+import "fmt"
+
+// Result reports the outcome of one simulated execution.
+type Result struct {
+	// Converged is true if the protocol's Stable predicate fired before
+	// the interaction budget ran out.
+	Converged bool
+
+	// Interactions is the number of scheduler steps executed. When
+	// Converged, it is the exact step count at which Stable first held.
+	Interactions uint64
+
+	// N is the population size.
+	N int
+
+	// Leaders is the number of leader-output agents at the end.
+	Leaders int
+
+	// LeaderID is the index of the leader agent if Leaders == 1, else -1.
+	LeaderID int
+
+	// Counts is the final per-class census.
+	Counts []int64
+
+	// DistinctStates is the number of distinct agent states observed over
+	// the whole execution (an empirical space-complexity measure). It is
+	// populated only when the runner's TrackStates option is on.
+	DistinctStates int
+
+	// Seed is the PRNG seed/stream that produced this run.
+	Seed uint64
+}
+
+// ParallelTime returns the interaction count divided by the population size,
+// the parallel-time measure used throughout the paper.
+func (r Result) ParallelTime() float64 {
+	return float64(r.Interactions) / float64(r.N)
+}
+
+func (r Result) String() string {
+	status := "converged"
+	if !r.Converged {
+		status = "TIMED OUT"
+	}
+	return fmt.Sprintf("%s after %d interactions (parallel time %.1f), %d leader(s)",
+		status, r.Interactions, r.ParallelTime(), r.Leaders)
+}

@@ -1,0 +1,270 @@
+package sim
+
+import "fmt"
+
+// Hook observes a single applied interaction. step is the 1-based step
+// index; ri and ii are the responder and initiator agent indices; oldR/oldI
+// and newR/newI their states before and after. Hooks run on the simulation
+// goroutine; they must not retain references to engine internals.
+type Hook[S comparable] func(step uint64, ri, ii int, oldR, oldI, newR, newI S)
+
+// Observer samples the whole population periodically. It receives the step
+// count and a read-only view of the population slice.
+type Observer[S comparable] func(step uint64, pop []S)
+
+// PairSource supplies the scheduler's ordered agent pairs. *rng.Source is
+// the uniform random scheduler of the model; package trace provides
+// recording and replaying sources for deterministic debugging.
+type PairSource interface {
+	// Pair returns an ordered (responder, initiator) pair of distinct
+	// indices in [0, n).
+	Pair(n int) (responder, initiator int)
+}
+
+// Runner executes one population protocol instance.
+//
+// A Runner is single-goroutine; to parallelize, create one Runner per trial
+// (see Trials).
+type Runner[S comparable, P Protocol[S]] struct {
+	proto P
+	rng   PairSource
+	pop   []S
+	n     int
+
+	counts  []int64
+	leaders int
+
+	// MaxInteractions bounds the run; 0 means DefaultBudget(n).
+	MaxInteractions uint64
+
+	// TrackStates enables counting distinct states seen (costs one map
+	// insertion per state change; off by default).
+	TrackStates bool
+
+	// CheckEvery controls how often the Stable predicate is evaluated,
+	// in interactions. 1 (the default set by NewRunner) gives exact
+	// convergence times.
+	CheckEvery uint64
+
+	hooks        []Hook[S]
+	observers    []Observer[S]
+	observeEvery uint64
+
+	seen map[S]struct{}
+	step uint64
+}
+
+// NewRunner creates a runner for proto using the given pair source
+// (typically an *rng.Source for the model's uniform random scheduler).
+func NewRunner[S comparable, P Protocol[S]](proto P, src PairSource) *Runner[S, P] {
+	n := proto.N()
+	if n < 2 {
+		panic(fmt.Sprintf("sim: population size %d < 2", n))
+	}
+	r := &Runner[S, P]{
+		proto:      proto,
+		rng:        src,
+		n:          n,
+		CheckEvery: 1,
+	}
+	r.Reset()
+	return r
+}
+
+// Reset reinitializes the population to the protocol's initial
+// configuration, clearing all counters. The PRNG is not reseeded.
+func (r *Runner[S, P]) Reset() {
+	if r.pop == nil {
+		r.pop = make([]S, r.n)
+	}
+	nc := r.proto.NumClasses()
+	if r.counts == nil {
+		r.counts = make([]int64, nc)
+	} else {
+		for i := range r.counts {
+			r.counts[i] = 0
+		}
+	}
+	r.leaders = 0
+	r.step = 0
+	if r.TrackStates {
+		r.seen = make(map[S]struct{})
+	}
+	for i := range r.pop {
+		s := r.proto.Init(i)
+		r.pop[i] = s
+		r.counts[r.proto.Class(s)]++
+		if r.proto.Leader(s) {
+			r.leaders++
+		}
+		if r.TrackStates {
+			r.seen[s] = struct{}{}
+		}
+	}
+}
+
+// AddHook registers a per-interaction hook.
+func (r *Runner[S, P]) AddHook(h Hook[S]) { r.hooks = append(r.hooks, h) }
+
+// AddObserver registers a population observer invoked every interval
+// interactions (and once more at the end of Run).
+func (r *Runner[S, P]) AddObserver(o Observer[S], interval uint64) {
+	if interval == 0 {
+		interval = 1
+	}
+	r.observers = append(r.observers, o)
+	if r.observeEvery == 0 || interval < r.observeEvery {
+		r.observeEvery = interval
+	}
+}
+
+// Population returns the live population slice. Callers must treat it as
+// read-only.
+func (r *Runner[S, P]) Population() []S { return r.pop }
+
+// Counts returns the live per-class census. Callers must treat it as
+// read-only.
+func (r *Runner[S, P]) Counts() []int64 { return r.counts }
+
+// Steps returns the number of interactions executed so far.
+func (r *Runner[S, P]) Steps() uint64 { return r.step }
+
+// Leaders returns the current number of leader-output agents.
+func (r *Runner[S, P]) Leaders() int { return r.leaders }
+
+// DefaultBudget returns the default interaction budget for population size
+// n: generous compared to the paper's O(n log^2 n) whp bound, plus a term
+// covering the slow-backup regime at small n.
+func DefaultBudget(n int) uint64 {
+	log2 := 1
+	for v := n; v > 1; v >>= 1 {
+		log2++
+	}
+	b := uint64(n) * uint64(log2) * uint64(log2) * 64
+	if slow := uint64(n) * uint64(n) * 8; b < slow && n <= 1<<14 {
+		// For small-to-moderate populations the Θ(n²)-interaction slow
+		// protocols (and the slow-backup regime of the fast ones) may
+		// need quadratically many interactions; allow them to finish.
+		b = slow
+	}
+	return b
+}
+
+// Step executes exactly one interaction and returns whether the
+// configuration changed.
+func (r *Runner[S, P]) Step() bool {
+	ri, ii := r.rng.Pair(r.n)
+	oldR, oldI := r.pop[ri], r.pop[ii]
+	newR, newI := r.proto.Delta(oldR, oldI)
+	r.step++
+	changed := false
+	if newR != oldR {
+		r.apply(ri, oldR, newR)
+		changed = true
+	}
+	if newI != oldI {
+		r.apply(ii, oldI, newI)
+		changed = true
+	}
+	for _, h := range r.hooks {
+		h(r.step, ri, ii, oldR, oldI, newR, newI)
+	}
+	return changed
+}
+
+func (r *Runner[S, P]) apply(idx int, old, new S) {
+	r.pop[idx] = new
+	r.counts[r.proto.Class(old)]--
+	r.counts[r.proto.Class(new)]++
+	if r.proto.Leader(old) {
+		r.leaders--
+	}
+	if r.proto.Leader(new) {
+		r.leaders++
+	}
+	if r.TrackStates {
+		r.ensureSeen()
+		r.seen[new] = struct{}{}
+	}
+}
+
+// ensureSeen initializes the distinct-state tracker on first use, seeding it
+// with all states currently present (TrackStates may be enabled after
+// NewRunner has already built the initial population).
+func (r *Runner[S, P]) ensureSeen() {
+	if r.seen != nil {
+		return
+	}
+	r.seen = make(map[S]struct{})
+	for _, s := range r.pop {
+		r.seen[s] = struct{}{}
+	}
+}
+
+// Run executes interactions until the protocol stabilizes or the budget is
+// exhausted, and returns the Result.
+func (r *Runner[S, P]) Run() Result {
+	budget := r.MaxInteractions
+	if budget == 0 {
+		budget = DefaultBudget(r.n)
+	}
+	check := r.CheckEvery
+	if check == 0 {
+		check = 1
+	}
+	converged := r.proto.Stable(r.counts)
+	for !converged && r.step < budget {
+		changed := r.Step()
+		if changed && (check == 1 || r.step%check == 0) {
+			converged = r.proto.Stable(r.counts)
+		}
+		if r.observeEvery != 0 && r.step%r.observeEvery == 0 {
+			for _, o := range r.observers {
+				o(r.step, r.pop)
+			}
+		}
+	}
+	// A final stability check in case the last step crossed the predicate
+	// between check intervals.
+	if !converged {
+		converged = r.proto.Stable(r.counts)
+	}
+	for _, o := range r.observers {
+		o(r.step, r.pop)
+	}
+	return r.result(converged)
+}
+
+// RunSteps executes exactly k further interactions (or fewer if the
+// configuration stabilizes first is NOT checked — all k run), returning the
+// current Result snapshot. Useful for driving observers manually.
+func (r *Runner[S, P]) RunSteps(k uint64) Result {
+	for i := uint64(0); i < k; i++ {
+		r.Step()
+	}
+	return r.result(r.proto.Stable(r.counts))
+}
+
+func (r *Runner[S, P]) result(converged bool) Result {
+	res := Result{
+		Converged:    converged,
+		Interactions: r.step,
+		N:            r.n,
+		Leaders:      r.leaders,
+		LeaderID:     -1,
+		Counts:       append([]int64(nil), r.counts...),
+	}
+	if r.leaders == 1 {
+		for i, s := range r.pop {
+			if r.proto.Leader(s) {
+				res.LeaderID = i
+				break
+			}
+		}
+	}
+	if r.TrackStates {
+		r.ensureSeen()
+		res.DistinctStates = len(r.seen)
+	}
+	return res
+}

@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+
+	"popelect/internal/rng"
+)
+
+// TrialConfig controls a batch of independent executions.
+type TrialConfig struct {
+	// Trials is the number of independent runs.
+	Trials int
+
+	// Seed is the base seed; trial t uses PRNG stream (Seed, t).
+	Seed uint64
+
+	// Workers caps the number of concurrent runners; 0 means GOMAXPROCS.
+	Workers int
+
+	// MaxInteractions bounds each run; 0 means DefaultBudget(n).
+	MaxInteractions uint64
+
+	// TrackStates enables distinct-state counting in each run.
+	TrackStates bool
+}
+
+// RunTrials executes cfg.Trials independent runs of the protocols produced
+// by factory (called once per trial, so protocols may be shared or fresh)
+// and returns the results ordered by trial index.
+//
+// Trials are distributed over a bounded worker pool; each trial gets its own
+// deterministic PRNG stream, so results are reproducible regardless of the
+// number of workers.
+func RunTrials[S comparable, P Protocol[S]](factory func(trial int) P, cfg TrialConfig) []Result {
+	if cfg.Trials <= 0 {
+		return nil
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Trials {
+		workers = cfg.Trials
+	}
+	results := make([]Result, cfg.Trials)
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range jobs {
+				src := rng.NewStream(cfg.Seed, uint64(t))
+				r := NewRunner[S, P](factory(t), src)
+				r.MaxInteractions = cfg.MaxInteractions
+				r.TrackStates = cfg.TrackStates
+				res := r.Run()
+				res.Seed = uint64(t)
+				results[t] = res
+			}
+		}()
+	}
+	for t := 0; t < cfg.Trials; t++ {
+		jobs <- t
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}
+
+// ParallelTimes extracts the parallel-time measure from a batch of results.
+func ParallelTimes(rs []Result) []float64 {
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i] = r.ParallelTime()
+	}
+	return out
+}
+
+// Interactions extracts interaction counts from a batch of results.
+func Interactions(rs []Result) []float64 {
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i] = float64(r.Interactions)
+	}
+	return out
+}
+
+// AllConverged reports whether every result converged.
+func AllConverged(rs []Result) bool {
+	for _, r := range rs {
+		if !r.Converged {
+			return false
+		}
+	}
+	return true
+}
+
+// ConvergedCount returns how many results converged.
+func ConvergedCount(rs []Result) int {
+	c := 0
+	for _, r := range rs {
+		if r.Converged {
+			c++
+		}
+	}
+	return c
+}

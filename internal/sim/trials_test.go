@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestRunTrialsBasic(t *testing.T) {
+	cfg := TrialConfig{Trials: 16, Seed: 42, Workers: 4}
+	rs := RunTrials[uint32, duel](func(int) duel { return duel{50} }, cfg)
+	if len(rs) != 16 {
+		t.Fatalf("got %d results", len(rs))
+	}
+	if !AllConverged(rs) {
+		t.Fatal("all duel trials must converge")
+	}
+	if ConvergedCount(rs) != 16 {
+		t.Fatal("ConvergedCount mismatch")
+	}
+	for i, r := range rs {
+		if r.Leaders != 1 {
+			t.Fatalf("trial %d: %d leaders", i, r.Leaders)
+		}
+		if r.Seed != uint64(i) {
+			t.Fatalf("trial %d: seed %d", i, r.Seed)
+		}
+	}
+}
+
+func TestRunTrialsReproducibleAcrossWorkerCounts(t *testing.T) {
+	mk := func(int) duel { return duel{40} }
+	a := RunTrials[uint32, duel](mk, TrialConfig{Trials: 8, Seed: 7, Workers: 1})
+	b := RunTrials[uint32, duel](mk, TrialConfig{Trials: 8, Seed: 7, Workers: 8})
+	for i := range a {
+		if a[i].Interactions != b[i].Interactions || a[i].LeaderID != b[i].LeaderID {
+			t.Fatalf("trial %d differs across worker counts: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRunTrialsDifferentSeedsDiffer(t *testing.T) {
+	mk := func(int) duel { return duel{100} }
+	a := RunTrials[uint32, duel](mk, TrialConfig{Trials: 4, Seed: 1})
+	b := RunTrials[uint32, duel](mk, TrialConfig{Trials: 4, Seed: 2})
+	same := 0
+	for i := range a {
+		if a[i].Interactions == b[i].Interactions {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different base seeds produced identical runs")
+	}
+}
+
+func TestRunTrialsZero(t *testing.T) {
+	if rs := RunTrials[uint32, duel](func(int) duel { return duel{10} }, TrialConfig{}); rs != nil {
+		t.Fatal("zero trials must return nil")
+	}
+}
+
+func TestExtractors(t *testing.T) {
+	rs := []Result{
+		{Interactions: 100, N: 10},
+		{Interactions: 300, N: 10},
+	}
+	pt := ParallelTimes(rs)
+	if pt[0] != 10 || pt[1] != 30 {
+		t.Fatalf("ParallelTimes = %v", pt)
+	}
+	in := Interactions(rs)
+	if in[0] != 100 || in[1] != 300 {
+		t.Fatalf("Interactions = %v", in)
+	}
+}
+
+func TestRunTrialsMaxInteractions(t *testing.T) {
+	cfg := TrialConfig{Trials: 3, Seed: 5, MaxInteractions: 4}
+	rs := RunTrials[uint32, duel](func(int) duel { return duel{500} }, cfg)
+	for _, r := range rs {
+		if r.Converged {
+			t.Fatal("trials cannot converge in 4 interactions from 500 leaders")
+		}
+		if r.Interactions != 4 {
+			t.Fatalf("ran %d interactions", r.Interactions)
+		}
+	}
+}
+
+func TestRunTrialsTrackStates(t *testing.T) {
+	cfg := TrialConfig{Trials: 2, Seed: 9, TrackStates: true}
+	rs := RunTrials[uint32, duel](func(int) duel { return duel{20} }, cfg)
+	for _, r := range rs {
+		if r.DistinctStates != 2 {
+			t.Fatalf("distinct states = %d", r.DistinctStates)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Histogram is a fixed-width binned histogram over [Lo, Hi). Values outside
+// the range are clamped into the first or last bin so that counts are never
+// lost; Outliers tracks how many were clamped.
+type Histogram struct {
+	Lo, Hi   float64
+	Bins     []int
+	Outliers int
+	total    int
+}
+
+// NewHistogram creates a histogram with the given number of bins over
+// [lo, hi). It panics if bins <= 0 or hi <= lo.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 {
+		panic("stats: histogram needs at least one bin")
+	}
+	if hi <= lo {
+		panic("stats: histogram range is empty")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Bins: make([]int, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	idx := int(float64(len(h.Bins)) * (x - h.Lo) / (h.Hi - h.Lo))
+	if idx < 0 {
+		idx = 0
+		h.Outliers++
+	} else if idx >= len(h.Bins) {
+		idx = len(h.Bins) - 1
+		h.Outliers++
+	}
+	h.Bins[idx]++
+	h.total++
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() int { return h.total }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Bins))
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// Render draws the histogram as ASCII art, one line per bin, with bars
+// scaled so the largest bin spans width characters.
+func (h *Histogram) Render(width int) string {
+	max := 0
+	for _, c := range h.Bins {
+		if c > max {
+			max = c
+		}
+	}
+	var sb strings.Builder
+	for i, c := range h.Bins {
+		bar := 0
+		if max > 0 {
+			bar = c * width / max
+		}
+		fmt.Fprintf(&sb, "%10.3g | %-*s %d\n", h.BinCenter(i), width, strings.Repeat("#", bar), c)
+	}
+	return sb.String()
+}

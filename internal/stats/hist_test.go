@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramBasic(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0, 1.9, 2, 5, 9.9} {
+		h.Add(x)
+	}
+	want := []int{2, 1, 1, 0, 1}
+	for i, c := range h.Bins {
+		if c != want[i] {
+			t.Fatalf("bins = %v, want %v", h.Bins, want)
+		}
+	}
+	if h.Total() != 5 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if h.Outliers != 0 {
+		t.Fatalf("outliers = %d", h.Outliers)
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	h := NewHistogram(0, 10, 2)
+	h.Add(-5)
+	h.Add(15)
+	if h.Bins[0] != 1 || h.Bins[1] != 1 {
+		t.Fatalf("bins = %v", h.Bins)
+	}
+	if h.Outliers != 2 {
+		t.Fatalf("outliers = %d, want 2", h.Outliers)
+	}
+}
+
+func TestHistogramBinCenter(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	if got := h.BinCenter(0); got != 1 {
+		t.Fatalf("center 0 = %v", got)
+	}
+	if got := h.BinCenter(4); got != 9 {
+		t.Fatalf("center 4 = %v", got)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram(0, 4, 2)
+	h.Add(1)
+	h.Add(1)
+	h.Add(3)
+	out := h.Render(10)
+	if !strings.Contains(out, "##########") {
+		t.Fatalf("largest bin should render full width:\n%s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines != 2 {
+		t.Fatalf("want 2 lines, got %d:\n%s", lines, out)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(0, 1, 0) },
+		func() { NewHistogram(1, 1, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("constructor must panic on invalid args")
+				}
+			}()
+			f()
+		}()
+	}
+}

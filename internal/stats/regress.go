@@ -1,0 +1,81 @@
+package stats
+
+import "math"
+
+// Fit holds the result of a simple least-squares line fit y = a + b*x.
+type Fit struct {
+	Intercept float64 // a
+	Slope     float64 // b
+	R2        float64 // coefficient of determination
+}
+
+// LinearFit fits y = a + b*x by ordinary least squares. The slices must have
+// equal length >= 2; otherwise the result is NaN-filled.
+func LinearFit(xs, ys []float64) Fit {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return Fit{math.NaN(), math.NaN(), math.NaN()}
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Fit{math.NaN(), math.NaN(), math.NaN()}
+	}
+	b := sxy / sxx
+	a := my - b*mx
+	r2 := 1.0
+	if syy > 0 {
+		// residual sum of squares
+		var rss float64
+		for i := range xs {
+			r := ys[i] - (a + b*xs[i])
+			rss += r * r
+		}
+		r2 = 1 - rss/syy
+	}
+	return Fit{Intercept: a, Slope: b, R2: r2}
+}
+
+// PowerLawFit fits y = c * x^alpha by regressing log y on log x, returning
+// alpha (the exponent), c, and R2 of the log-log fit. Inputs must be
+// positive; non-positive points are skipped.
+func PowerLawFit(xs, ys []float64) (alpha, c, r2 float64) {
+	var lx, ly []float64
+	for i := range xs {
+		if i < len(ys) && xs[i] > 0 && ys[i] > 0 {
+			lx = append(lx, math.Log(xs[i]))
+			ly = append(ly, math.Log(ys[i]))
+		}
+	}
+	f := LinearFit(lx, ly)
+	return f.Slope, math.Exp(f.Intercept), f.R2
+}
+
+// RatioSpread returns max/min of the pairwise ratios ys[i]/fs[i]. It is the
+// harness's test for "ys grows like fs": if ys ~ C*fs then the spread is
+// close to 1. Non-positive entries make the result NaN.
+func RatioSpread(ys, fs []float64) float64 {
+	if len(ys) != len(fs) || len(ys) == 0 {
+		return math.NaN()
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := range ys {
+		if fs[i] <= 0 || ys[i] <= 0 {
+			return math.NaN()
+		}
+		r := ys[i] / fs[i]
+		if r < lo {
+			lo = r
+		}
+		if r > hi {
+			hi = r
+		}
+	}
+	return hi / lo
+}

@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 + 2*x
+	}
+	f := LinearFit(xs, ys)
+	if !almostEq(f.Intercept, 3, 1e-9) || !almostEq(f.Slope, 2, 1e-9) || !almostEq(f.R2, 1, 1e-9) {
+		t.Fatalf("fit = %+v", f)
+	}
+}
+
+func TestLinearFitNoisy(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	ys := []float64{2.1, 3.9, 6.2, 7.8, 10.1, 11.9}
+	f := LinearFit(xs, ys)
+	if math.Abs(f.Slope-2) > 0.1 {
+		t.Fatalf("slope = %v, want ~2", f.Slope)
+	}
+	if f.R2 < 0.99 {
+		t.Fatalf("R2 = %v, want ~1", f.R2)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	f := LinearFit([]float64{1}, []float64{2})
+	if !math.IsNaN(f.Slope) {
+		t.Error("single point fit must be NaN")
+	}
+	f = LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3})
+	if !math.IsNaN(f.Slope) {
+		t.Error("vertical data fit must be NaN")
+	}
+	f = LinearFit([]float64{1, 2}, []float64{5})
+	if !math.IsNaN(f.Slope) {
+		t.Error("mismatched length fit must be NaN")
+	}
+}
+
+func TestPowerLawFit(t *testing.T) {
+	// y = 5 x^1.7
+	var xs, ys []float64
+	for x := 1.0; x <= 1024; x *= 2 {
+		xs = append(xs, x)
+		ys = append(ys, 5*math.Pow(x, 1.7))
+	}
+	alpha, c, r2 := PowerLawFit(xs, ys)
+	if !almostEq(alpha, 1.7, 1e-6) || !almostEq(c, 5, 1e-6) || r2 < 0.999 {
+		t.Fatalf("alpha=%v c=%v r2=%v", alpha, c, r2)
+	}
+}
+
+func TestPowerLawFitSkipsNonPositive(t *testing.T) {
+	xs := []float64{-1, 1, 2, 4, 8, 16}
+	ys := []float64{9, 1, 2, 4, 8, 16}
+	alpha, _, _ := PowerLawFit(xs, ys)
+	if !almostEq(alpha, 1, 1e-9) {
+		t.Fatalf("alpha = %v, want 1", alpha)
+	}
+}
+
+func TestRatioSpread(t *testing.T) {
+	ys := []float64{2, 4, 8}
+	fs := []float64{1, 2, 4}
+	if got := RatioSpread(ys, fs); !almostEq(got, 1, 1e-12) {
+		t.Fatalf("spread = %v, want 1", got)
+	}
+	ys = []float64{2, 4, 16}
+	if got := RatioSpread(ys, fs); !almostEq(got, 2, 1e-12) {
+		t.Fatalf("spread = %v, want 2", got)
+	}
+	if !math.IsNaN(RatioSpread([]float64{1}, []float64{0})) {
+		t.Error("zero denominator must give NaN")
+	}
+	if !math.IsNaN(RatioSpread(nil, nil)) {
+		t.Error("empty input must give NaN")
+	}
+}

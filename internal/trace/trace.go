@@ -1,0 +1,123 @@
+// Package trace records and replays interaction schedules. A recorded
+// trace pins down the entire execution of a (deterministic) protocol — the
+// uniform random scheduler is the only source of randomness in the model —
+// so replaying it reproduces every state of every agent exactly. This is
+// the debugging workflow for protocol development: capture a failing run
+// once, then re-execute it as often as needed, under different
+// instrumentation, in a different protocol variant, or after a bisected
+// code change.
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"popelect/internal/sim"
+)
+
+// Recorder wraps a pair source and remembers every pair it hands out.
+type Recorder struct {
+	// Src is the underlying scheduler.
+	Src sim.PairSource
+
+	pairs [][2]int32
+}
+
+// NewRecorder wraps src.
+func NewRecorder(src sim.PairSource) *Recorder {
+	return &Recorder{Src: src}
+}
+
+// Pair implements sim.PairSource.
+func (r *Recorder) Pair(n int) (int, int) {
+	a, b := r.Src.Pair(n)
+	r.pairs = append(r.pairs, [2]int32{int32(a), int32(b)})
+	return a, b
+}
+
+// Len returns the number of recorded interactions.
+func (r *Recorder) Len() int { return len(r.pairs) }
+
+// Trace returns the recorded schedule.
+func (r *Recorder) Trace() *Trace { return &Trace{Pairs: r.pairs} }
+
+// Trace is a recorded interaction schedule.
+type Trace struct {
+	Pairs [][2]int32
+}
+
+// Len returns the number of interactions in the trace.
+func (t *Trace) Len() int { return len(t.Pairs) }
+
+// Replayer replays a trace as a sim.PairSource. After the trace is
+// exhausted it falls back to Fallback if set, and panics otherwise
+// (replaying beyond the recorded horizon without a fallback is a bug).
+type Replayer struct {
+	trace    *Trace
+	pos      int
+	Fallback sim.PairSource
+}
+
+// NewReplayer replays t from the beginning.
+func NewReplayer(t *Trace) *Replayer { return &Replayer{trace: t} }
+
+// Pair implements sim.PairSource.
+func (r *Replayer) Pair(n int) (int, int) {
+	if r.pos >= len(r.trace.Pairs) {
+		if r.Fallback != nil {
+			return r.Fallback.Pair(n)
+		}
+		panic("trace: replay exhausted and no fallback set")
+	}
+	p := r.trace.Pairs[r.pos]
+	r.pos++
+	a, b := int(p[0]), int(p[1])
+	if a < 0 || b < 0 || a >= n || b >= n || a == b {
+		panic(fmt.Sprintf("trace: recorded pair (%d, %d) invalid for population %d", a, b, n))
+	}
+	return a, b
+}
+
+// Pos returns how many interactions have been replayed.
+func (r *Replayer) Pos() int { return r.pos }
+
+const magic = uint32(0x70747263) // "ptrc"
+
+// Save writes the trace in a compact binary format.
+func (t *Trace) Save(w io.Writer) error {
+	if err := binary.Write(w, binary.LittleEndian, magic); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint64(len(t.Pairs))); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if err := binary.Write(w, binary.LittleEndian, t.Pairs); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	return nil
+}
+
+// Load reads a trace written by Save.
+func Load(r io.Reader) (*Trace, error) {
+	var m uint32
+	if err := binary.Read(r, binary.LittleEndian, &m); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("trace: bad magic %#x", m)
+	}
+	var count uint64
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	const maxTrace = 1 << 32
+	if count > maxTrace {
+		return nil, fmt.Errorf("trace: implausible length %d", count)
+	}
+	pairs := make([][2]int32, count)
+	if err := binary.Read(r, binary.LittleEndian, &pairs); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return &Trace{Pairs: pairs}, nil
+}

@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"popelect/internal/core"
+	"popelect/internal/rng"
+	"popelect/internal/sim"
+)
+
+func TestRecordReplayReproducesExecution(t *testing.T) {
+	pr := core.MustNew(core.DefaultParams(256))
+
+	// Record a full election.
+	rec := NewRecorder(rng.New(42))
+	r1 := sim.NewRunner[core.State, *core.Protocol](pr, rec)
+	res1 := r1.Run()
+	if !res1.Converged {
+		t.Fatalf("%+v", res1)
+	}
+	pop1 := append([]core.State(nil), r1.Population()...)
+
+	// Replay it.
+	rep := NewReplayer(rec.Trace())
+	r2 := sim.NewRunner[core.State, *core.Protocol](pr, rep)
+	res2 := r2.Run()
+	if res2.Interactions != res1.Interactions || res2.LeaderID != res1.LeaderID {
+		t.Fatalf("replay diverged: %+v vs %+v", res1, res2)
+	}
+	for i, s := range r2.Population() {
+		if s != pop1[i] {
+			t.Fatalf("agent %d state differs after replay: %v vs %v", i, s, pop1[i])
+		}
+	}
+	if rep.Pos() != rec.Len() {
+		t.Fatalf("replay consumed %d of %d interactions", rep.Pos(), rec.Len())
+	}
+}
+
+func TestReplayerExhaustionPanics(t *testing.T) {
+	rep := NewReplayer(&Trace{Pairs: [][2]int32{{0, 1}}})
+	rep.Pair(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("exhausted replay without fallback must panic")
+		}
+	}()
+	rep.Pair(2)
+}
+
+func TestReplayerFallback(t *testing.T) {
+	rep := NewReplayer(&Trace{Pairs: [][2]int32{{0, 1}}})
+	rep.Fallback = rng.New(7)
+	a, b := rep.Pair(10)
+	if a != 0 || b != 1 {
+		t.Fatalf("first pair (%d, %d)", a, b)
+	}
+	for i := 0; i < 100; i++ {
+		a, b = rep.Pair(10)
+		if a == b || a < 0 || b < 0 || a >= 10 || b >= 10 {
+			t.Fatalf("fallback produced invalid pair (%d, %d)", a, b)
+		}
+	}
+}
+
+func TestReplayerValidatesPairs(t *testing.T) {
+	cases := []*Trace{
+		{Pairs: [][2]int32{{5, 5}}},  // equal
+		{Pairs: [][2]int32{{-1, 0}}}, // negative
+		{Pairs: [][2]int32{{0, 99}}}, // out of range
+	}
+	for _, tr := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("invalid pair %v must panic", tr.Pairs[0])
+				}
+			}()
+			NewReplayer(tr).Pair(10)
+		}()
+	}
+}
+
+func TestSaveLoadRoundtrip(t *testing.T) {
+	rec := NewRecorder(rng.New(3))
+	for i := 0; i < 1000; i++ {
+		rec.Pair(64)
+	}
+	var buf bytes.Buffer
+	if err := rec.Trace().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 1000 {
+		t.Fatalf("loaded %d pairs", loaded.Len())
+	}
+	for i, p := range loaded.Pairs {
+		if p != rec.Trace().Pairs[i] {
+			t.Fatalf("pair %d differs", i)
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Fatal("truncated input must fail")
+	}
+	if _, err := Load(bytes.NewReader([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})); err == nil {
+		t.Fatal("bad magic must fail")
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	empty := &Trace{}
+	if err := empty.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil || loaded.Len() != 0 {
+		t.Fatalf("empty trace roundtrip: %v, %d", err, loaded.Len())
+	}
+}
+
+// TestCrossProtocolReplay replays one schedule under two protocol variants
+// — the workflow for bisecting behavioural changes: same interactions,
+// different rules.
+func TestCrossProtocolReplay(t *testing.T) {
+	full := core.MustNew(core.Params{N: 128, Gamma: 36, Phi: 1, Psi: 4})
+	nodrg := core.MustNew(core.Params{N: 128, Gamma: 36, Phi: 1, Psi: 4, NoDrag: true})
+
+	rec := NewRecorder(rng.New(11))
+	r1 := sim.NewRunner[core.State, *core.Protocol](full, rec)
+	r1.RunSteps(20000)
+
+	rep := NewReplayer(rec.Trace())
+	r2 := sim.NewRunner[core.State, *core.Protocol](nodrg, rep)
+	r2.RunSteps(20000)
+
+	// The two variants share every rule except the drag machinery, so
+	// their role splits under the same schedule must agree exactly
+	// (roles are assigned before any drag rule can fire).
+	c1 := full.RoleCensus(r1.Population())
+	c2 := nodrg.RoleCensus(r2.Population())
+	for _, role := range []core.Role{core.RoleC, core.RoleL} {
+		if c1[role] != c2[role] {
+			t.Fatalf("role %v differs under identical schedule: %d vs %d",
+				role, c1[role], c2[role])
+		}
+	}
+}

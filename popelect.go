@@ -1,0 +1,179 @@
+// Package popelect is a library of population protocols for leader
+// election, built as a faithful reproduction of "Almost Logarithmic-Time
+// Space Optimal Leader Election in Population Protocols" (Gąsieniec,
+// Stachowiak, Uznański — SPAA 2019).
+//
+// The headline algorithm (Algorithm GSU19) elects a unique leader among n
+// indistinguishable agents under a uniform random pairwise scheduler using
+// O(log log n) states per agent in O(log n · log log n) expected parallel
+// time — and it always elects exactly one leader (a Las Vegas algorithm).
+// The package also ships the comparison baselines of the paper's Table 1
+// (the constant-state slow protocol, GS18, and a BKKO18-style lottery) and
+// the substrates they are built from (junta-driven phase clocks, synthetic
+// coins, one-way epidemics), all runnable through one simulation engine.
+//
+// Quick start:
+//
+//	res, err := popelect.Elect(100000, popelect.WithSeed(42))
+//	// res.LeaderID is the unique elected agent.
+//
+// For experiment-grade access (census instrumentation, custom parameters,
+// trial batches) use the internal packages through the cmd/ tools, or
+// Protocol to drive the engine directly.
+package popelect
+
+import (
+	"fmt"
+
+	"popelect/internal/core"
+	"popelect/internal/protocols/gs18"
+	"popelect/internal/protocols/lottery"
+	"popelect/internal/protocols/slow"
+	"popelect/internal/rng"
+	"popelect/internal/sim"
+)
+
+// Algorithm selects a leader-election protocol.
+type Algorithm string
+
+// Available algorithms.
+const (
+	// GSU19 is the paper's protocol: O(log log n) states,
+	// O(log n·log log n) expected parallel time, always correct.
+	GSU19 Algorithm = "gsu19"
+	// GS18 is the SODA 2018 baseline: O(log log n) states, O(log² n) time.
+	GS18 Algorithm = "gs18"
+	// Lottery is a BKKO18-style baseline: O(log n) states, O(log² n) time.
+	Lottery Algorithm = "lottery"
+	// Slow is the constant-state Θ(n)-time protocol of AAD+04.
+	Slow Algorithm = "slow"
+)
+
+// Algorithms lists all available algorithms.
+func Algorithms() []Algorithm { return []Algorithm{GSU19, GS18, Lottery, Slow} }
+
+// Result reports one election.
+type Result struct {
+	// LeaderID is the index of the unique elected agent.
+	LeaderID int
+	// Interactions is the number of scheduler steps until stabilization.
+	Interactions uint64
+	// ParallelTime is Interactions / n, the paper's time measure.
+	ParallelTime float64
+	// DistinctStates is the number of distinct agent states used during
+	// the run (an empirical space measure), if state tracking was on.
+	DistinctStates int
+}
+
+type options struct {
+	seed        uint64
+	budget      uint64
+	gamma       int
+	phi         int
+	psi         int
+	trackStates bool
+}
+
+// Option configures an election.
+type Option func(*options)
+
+// WithSeed makes the run deterministic for a given seed.
+func WithSeed(seed uint64) Option { return func(o *options) { o.seed = seed } }
+
+// WithBudget caps the number of interactions (0 = a generous default).
+func WithBudget(max uint64) Option { return func(o *options) { o.budget = max } }
+
+// WithGamma overrides the phase-clock resolution Γ (GSU19/GS18/Lottery).
+func WithGamma(gamma int) Option { return func(o *options) { o.gamma = gamma } }
+
+// WithPhi overrides the coin-level cap Φ (GSU19/GS18).
+func WithPhi(phi int) Option { return func(o *options) { o.phi = phi } }
+
+// WithPsi overrides the drag-counter range Ψ (GSU19).
+func WithPsi(psi int) Option { return func(o *options) { o.psi = psi } }
+
+// WithStateTracking records the number of distinct states used.
+func WithStateTracking() Option { return func(o *options) { o.trackStates = true } }
+
+// Elect runs the paper's protocol on a population of n agents and returns
+// the elected leader. It is deterministic given WithSeed.
+func Elect(n int, opts ...Option) (Result, error) {
+	return ElectWith(GSU19, n, opts...)
+}
+
+// ElectWith runs the chosen algorithm on a population of n agents.
+func ElectWith(alg Algorithm, n int, opts ...Option) (Result, error) {
+	var o options
+	o.seed = 1
+	for _, opt := range opts {
+		opt(&o)
+	}
+	switch alg {
+	case GSU19:
+		params := core.DefaultParams(n)
+		if o.gamma != 0 {
+			params.Gamma = o.gamma
+		}
+		if o.phi != 0 {
+			params.Phi = o.phi
+		}
+		if o.psi != 0 {
+			params.Psi = o.psi
+		}
+		pr, err := core.New(params)
+		if err != nil {
+			return Result{}, err
+		}
+		return run[core.State](pr, o)
+	case GS18:
+		params := gs18.DefaultParams(n)
+		if o.gamma != 0 {
+			params.Gamma = o.gamma
+		}
+		if o.phi != 0 {
+			params.Phi = o.phi
+		}
+		pr, err := gs18.New(params)
+		if err != nil {
+			return Result{}, err
+		}
+		return run[uint32](pr, o)
+	case Lottery:
+		params := lottery.DefaultParams(n)
+		if o.gamma != 0 {
+			params.Gamma = o.gamma
+		}
+		pr, err := lottery.New(params)
+		if err != nil {
+			return Result{}, err
+		}
+		return run[uint32](pr, o)
+	case Slow:
+		pr, err := slow.New(n)
+		if err != nil {
+			return Result{}, err
+		}
+		return run[uint32](pr, o)
+	}
+	return Result{}, fmt.Errorf("popelect: unknown algorithm %q", alg)
+}
+
+func run[S comparable, P sim.Protocol[S]](pr P, o options) (Result, error) {
+	r := sim.NewRunner[S, P](pr, rng.New(o.seed))
+	r.MaxInteractions = o.budget
+	r.TrackStates = o.trackStates
+	res := r.Run()
+	if !res.Converged {
+		return Result{}, fmt.Errorf("popelect: %s did not stabilize within %d interactions",
+			pr.Name(), res.Interactions)
+	}
+	if res.Leaders != 1 || res.LeaderID < 0 {
+		return Result{}, fmt.Errorf("popelect: %s stabilized with %d leaders", pr.Name(), res.Leaders)
+	}
+	return Result{
+		LeaderID:       res.LeaderID,
+		Interactions:   res.Interactions,
+		ParallelTime:   res.ParallelTime(),
+		DistinctStates: res.DistinctStates,
+	}, nil
+}

@@ -1,0 +1,100 @@
+package popelect
+
+import "testing"
+
+func TestElectBasic(t *testing.T) {
+	res, err := Elect(1000, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LeaderID < 0 || res.LeaderID >= 1000 {
+		t.Fatalf("bad leader id %d", res.LeaderID)
+	}
+	if res.Interactions == 0 || res.ParallelTime <= 0 {
+		t.Fatalf("bad timing: %+v", res)
+	}
+}
+
+func TestElectDeterministic(t *testing.T) {
+	a, err := Elect(512, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Elect(512, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+	c, err := Elect(512, WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Interactions == c.Interactions {
+		t.Log("different seeds coincided on interaction count (unlikely but possible)")
+	}
+}
+
+func TestElectAllAlgorithms(t *testing.T) {
+	for _, alg := range Algorithms() {
+		res, err := ElectWith(alg, 512, WithSeed(11))
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if res.LeaderID < 0 {
+			t.Fatalf("%s: no leader", alg)
+		}
+	}
+}
+
+func TestElectUnknownAlgorithm(t *testing.T) {
+	if _, err := ElectWith("nope", 100); err == nil {
+		t.Fatal("unknown algorithm must fail")
+	}
+}
+
+func TestElectRejectsTinyPopulation(t *testing.T) {
+	for _, alg := range Algorithms() {
+		if _, err := ElectWith(alg, 1); err == nil {
+			t.Fatalf("%s accepted n=1", alg)
+		}
+	}
+}
+
+func TestElectBudgetExceeded(t *testing.T) {
+	if _, err := Elect(4096, WithSeed(1), WithBudget(10)); err == nil {
+		t.Fatal("10-interaction budget cannot elect a leader at n=4096")
+	}
+}
+
+func TestElectParameterOverrides(t *testing.T) {
+	res, err := Elect(512, WithSeed(5), WithGamma(48), WithPhi(2), WithPsi(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LeaderID < 0 {
+		t.Fatal("no leader")
+	}
+	// Invalid overrides surface as errors, not panics.
+	if _, err := Elect(512, WithGamma(7)); err == nil {
+		t.Fatal("odd gamma must be rejected")
+	}
+}
+
+func TestElectStateTracking(t *testing.T) {
+	res, err := ElectWith(Slow, 128, WithSeed(9), WithStateTracking())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DistinctStates != 2 {
+		t.Fatalf("slow protocol uses 2 states, got %d", res.DistinctStates)
+	}
+	res, err = Elect(512, WithSeed(9), WithStateTracking())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DistinctStates < 36 {
+		t.Fatalf("GSU19 distinct states implausibly low: %d", res.DistinctStates)
+	}
+}
