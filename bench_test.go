@@ -306,3 +306,83 @@ func BenchmarkPaperbenchSmoke(b *testing.B) {
 		}
 	}
 }
+
+// --- Backend comparison: dense vs counts on identical workloads ---
+
+// benchBackend runs one full GS18 election per iteration on the given
+// backend and reports mean parallel time plus interaction throughput.
+func benchBackend(b *testing.B, n int, backend sim.Backend, batch uint64) {
+	b.Helper()
+	pr := gs18.MustNew(gs18.DefaultParams(n))
+	var interactions uint64
+	for i := 0; i < b.N; i++ {
+		eng, err := sim.NewEngine[uint32, *gs18.Protocol](pr, rng.New(uint64(i)+1), backend)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if c, ok := eng.(*sim.CountsEngine[uint32]); ok {
+			c.BatchLen = batch
+		}
+		res := eng.Run()
+		if !res.Converged || res.Leaders != 1 {
+			b.Fatalf("iteration %d: %+v", i, res)
+		}
+		interactions += res.Interactions
+	}
+	b.ReportMetric(float64(interactions)/b.Elapsed().Seconds()/1e6, "Minteractions/s")
+}
+
+func BenchmarkBackendDenseGS18(b *testing.B)       { benchBackend(b, 1<<15, sim.BackendDense, 0) }
+func BenchmarkBackendCountsExactGS18(b *testing.B) { benchBackend(b, 1<<15, sim.BackendCounts, 1) }
+func BenchmarkBackendCountsBatchGS18(b *testing.B) { benchBackend(b, 1<<15, sim.BackendCounts, 1<<12) }
+
+// BenchmarkBackendCountsMillion runs a full GS18 election at n = 2²⁰ per
+// iteration — a population the dense backend needs minutes for.
+func BenchmarkBackendCountsMillion(b *testing.B) {
+	benchBackend(b, 1<<20, sim.BackendCounts, 0)
+}
+
+// --- rng samplers feeding the counts backend's batch chains ---
+
+func BenchmarkBinomial(b *testing.B) {
+	s := rng.New(1)
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += s.Binomial(1<<30, 0.3)
+	}
+	_ = sink
+}
+
+func BenchmarkHypergeometricHRUA(b *testing.B) {
+	s := rng.New(1)
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += s.Hypergeometric(1<<20, 1<<26, 1<<24)
+	}
+	_ = sink
+}
+
+func BenchmarkHypergeometricSmallClass(b *testing.B) {
+	// The counts backend's typical census draw: a tiny state class meeting
+	// a huge batch (served by inversion after orientation swap).
+	s := rng.New(1)
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += s.Hypergeometric(7, 1<<26, 1<<23)
+	}
+	_ = sink
+}
+
+func BenchmarkAliasSample(b *testing.B) {
+	s := rng.New(1)
+	w := make([]float64, 300)
+	for i := range w {
+		w[i] = float64(i%7) + 0.1
+	}
+	a := rng.MustAlias(w)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += a.Sample(s)
+	}
+	_ = sink
+}

@@ -30,9 +30,15 @@ func main() {
 		phi     = flag.Int("phi", 0, "coin level cap Φ (0 = default)")
 		psi     = flag.Int("psi", 0, "drag range Ψ (0 = default)")
 		trials  = flag.Int("trials", 1, "number of independent runs")
-		verbose = flag.Bool("v", false, "print a census timeline (gsu19 only)")
+		backend = flag.String("backend", "dense", "simulation backend: dense, counts or auto (counts scales to n=10⁸–10⁹ but reports no leader agent id)")
+		verbose = flag.Bool("v", false, "print a census timeline (gsu19 only; forces the dense backend)")
 	)
 	flag.Parse()
+
+	if _, err := sim.ParseBackend(*backend); err != nil {
+		fmt.Fprintln(os.Stderr, "leaderelect:", err)
+		os.Exit(2)
+	}
 
 	if *verbose && *alg == "gsu19" {
 		if err := runVerbose(*n, *seed, *gamma, *phi, *psi); err != nil {
@@ -43,7 +49,7 @@ func main() {
 	}
 
 	for t := 0; t < *trials; t++ {
-		opts := []popelect.Option{popelect.WithSeed(*seed + uint64(t))}
+		opts := []popelect.Option{popelect.WithSeed(*seed + uint64(t)), popelect.WithBackend(*backend)}
 		if *gamma != 0 {
 			opts = append(opts, popelect.WithGamma(*gamma))
 		}
@@ -58,8 +64,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, "leaderelect:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("trial %d: leader = agent %d after %d interactions (parallel time %.1f)\n",
-			t, res.LeaderID, res.Interactions, res.ParallelTime)
+		if res.LeaderID >= 0 {
+			fmt.Printf("trial %d: leader = agent %d after %d interactions (parallel time %.1f)\n",
+				t, res.LeaderID, res.Interactions, res.ParallelTime)
+		} else {
+			// The counts backend elects an anonymous leader.
+			fmt.Printf("trial %d: unique leader elected after %d interactions (parallel time %.1f)\n",
+				t, res.Interactions, res.ParallelTime)
+		}
 	}
 }
 

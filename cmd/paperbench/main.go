@@ -22,16 +22,18 @@ import (
 	"time"
 
 	"popelect/internal/experiments"
+	"popelect/internal/sim"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
-		sizes  = flag.String("sizes", "", "comma-separated population sizes (default: experiment preset)")
-		trials = flag.Int("trials", 0, "trials per measurement point (default: preset)")
-		seed   = flag.Uint64("seed", 0, "base seed (default: preset)")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
-		smoke  = flag.Bool("smoke", false, "tiny configuration for a quick look")
+		exp     = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		sizes   = flag.String("sizes", "", "comma-separated population sizes (default: experiment preset)")
+		trials  = flag.Int("trials", 0, "trials per measurement point (default: preset)")
+		seed    = flag.Uint64("seed", 0, "base seed (default: preset)")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		smoke   = flag.Bool("smoke", false, "tiny configuration for a quick look")
+		backend = flag.String("backend", "dense", "simulation backend for trial-based experiments: dense, counts or auto")
 	)
 	flag.Parse()
 
@@ -63,6 +65,12 @@ func main() {
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
+	be, err := sim.ParseBackend(*backend)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(2)
+	}
+	cfg.Backend = be
 
 	var ids []string
 	if *exp == "all" {

@@ -25,12 +25,19 @@ import (
 
 func main() {
 	var (
-		what   = flag.String("what", "gamma", "parameter to sweep: gamma, phi, psi")
-		n      = flag.Int("n", 4096, "population size")
-		trials = flag.Int("trials", 5, "trials per setting")
-		seed   = flag.Uint64("seed", 1, "base seed")
+		what    = flag.String("what", "gamma", "parameter to sweep: gamma, phi, psi")
+		n       = flag.Int("n", 4096, "population size")
+		trials  = flag.Int("trials", 5, "trials per setting")
+		seed    = flag.Uint64("seed", 1, "base seed")
+		backend = flag.String("backend", "dense", "simulation backend: dense, counts or auto")
 	)
 	flag.Parse()
+
+	be, err := sim.ParseBackend(*backend)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(2)
+	}
 
 	var values []int
 	mutate := func(p *core.Params, v int) {}
@@ -61,7 +68,7 @@ func main() {
 			continue
 		}
 		rs := sim.RunTrials[core.State, *core.Protocol](func(int) *core.Protocol { return pr },
-			sim.TrialConfig{Trials: *trials, Seed: *seed + uint64(v)})
+			sim.TrialConfig{Trials: *trials, Seed: *seed + uint64(v), Backend: be})
 		times := sim.ParallelTimes(rs)
 		fmt.Fprintf(w, "%d\t%d/%d\t%.0f\t%.0f\t%.0f\t%.1f\n",
 			v, sim.ConvergedCount(rs), len(rs),

@@ -1,0 +1,3 @@
+module popelect
+
+go 1.24

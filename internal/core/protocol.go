@@ -273,3 +273,52 @@ func (pr *Protocol) Leader(s State) bool { return s.Alive() }
 func (pr *Protocol) Stable(counts []int64) bool {
 	return counts[ClassActive]+counts[ClassPassive] == 1 && counts[ClassZero] <= 1
 }
+
+// States implements sim.Enumerable: every packed State whose fields lie
+// within their role's bit ranges — a finite superset of the reachable space
+// (the payload masks are wider than the parameter bounds Φ and Ψ, which is
+// harmless: unreachable states never acquire census counts). This lets the
+// counts backend run the paper's protocol at populations of 10⁸–10⁹.
+func (pr *Protocol) States() []State {
+	gamma := State(pr.gamma)
+	perPhase := 3 + 2*(levelMask+1) + 4*(levelMask+1) +
+		3*int(flipMask+1)*2*int(cntMask+1)*int(ldragMask+1)
+	out := make([]State, 0, int(gamma)*perPhase)
+	for phase := State(0); phase < gamma; phase++ {
+		// Phase-only roles.
+		for _, role := range [...]Role{RoleZero, RoleX, RoleD} {
+			out = append(out, phase|State(role)<<roleShift)
+		}
+		// Coins: level × stopped.
+		coin := phase | State(RoleC)<<roleShift
+		for lvl := State(0); lvl <= levelMask; lvl++ {
+			for _, stop := range [...]State{0, stopBit} {
+				out = append(out, coin|lvl<<levelShift|stop)
+			}
+		}
+		// Inhibitors: drag × stopped × high.
+		inhib := phase | State(RoleI)<<roleShift
+		for drag := State(0); drag <= levelMask; drag++ {
+			for _, stop := range [...]State{0, stopBit} {
+				for _, high := range [...]State{0, highBit} {
+					out = append(out, inhib|drag<<levelShift|stop|high)
+				}
+			}
+		}
+		// Leader candidates: mode × flip × headsSeen × cnt × drag.
+		lead := phase | State(RoleL)<<roleShift
+		for mode := State(ModeActive); mode <= State(ModeWithdrawn); mode++ {
+			for flip := State(0); flip <= flipMask; flip++ {
+				for _, heads := range [...]State{0, headsSeenBit} {
+					for cnt := State(0); cnt <= cntMask; cnt++ {
+						for drag := State(0); drag <= ldragMask; drag++ {
+							out = append(out, lead|mode<<lmodeShift|flip<<flipShift|
+								heads|cnt<<cntShift|drag<<ldragShift)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"popelect/internal/rng"
+	"popelect/internal/sim"
 	"testing"
 )
 
@@ -628,4 +630,53 @@ func TestNewRejectsBadParams(t *testing.T) {
 		}
 	}()
 	MustNew(Params{N: 1})
+}
+
+// Enumerable contract for the counts backend.
+var _ sim.Enumerable[State] = (*Protocol)(nil)
+
+// TestStatesEnumerationCoversRun checks that every state reached in a full
+// GSU19 run is contained in the States() enumeration, and that the whole
+// enumeration maps to valid census classes.
+func TestStatesEnumerationCoversRun(t *testing.T) {
+	pr := MustNew(DefaultParams(1500))
+	enumerated := make(map[State]struct{})
+	for _, s := range pr.States() {
+		if _, dup := enumerated[s]; dup {
+			t.Fatalf("duplicate state %#x in enumeration", uint32(s))
+		}
+		enumerated[s] = struct{}{}
+		if c := pr.Class(s); int(c) >= pr.NumClasses() {
+			t.Fatalf("state %#x has class %d out of range", uint32(s), c)
+		}
+	}
+	if _, ok := enumerated[pr.Init(0)]; !ok {
+		t.Fatal("initial state missing from enumeration")
+	}
+	r := sim.NewRunner[State, *Protocol](pr, rng.New(8))
+	r.AddHook(func(step uint64, ri, ii int, oldR, oldI, newR, newI State) {
+		if _, ok := enumerated[newR]; !ok {
+			t.Fatalf("state %v reached but not enumerated", newR)
+		}
+		if _, ok := enumerated[newI]; !ok {
+			t.Fatalf("state %v reached but not enumerated", newI)
+		}
+	})
+	if res := r.Run(); !res.Converged {
+		t.Fatalf("%+v", res)
+	}
+}
+
+// TestCountsBackendElects runs the paper's protocol end to end on the
+// counts backend.
+func TestCountsBackendElects(t *testing.T) {
+	pr := MustNew(DefaultParams(3000))
+	eng, err := sim.NewEngine[State, *Protocol](pr, rng.New(4), sim.BackendCounts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := eng.Run()
+	if !res.Converged || res.Leaders != 1 {
+		t.Fatalf("counts backend: %+v", res)
+	}
 }

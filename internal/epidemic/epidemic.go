@@ -74,3 +74,6 @@ func (p *Protocol) Leader(uint32) bool { return false }
 // Stable implements sim.Protocol: stable when the whole population is
 // infected (infection is monotone, so this is absorbing).
 func (p *Protocol) Stable(counts []int64) bool { return counts[1] == int64(p.Size) }
+
+// States implements sim.Enumerable.
+func (p *Protocol) States() []uint32 { return []uint32{0, 1} }

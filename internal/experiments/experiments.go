@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"popelect/internal/sim"
 )
 
 // Config controls experiment scale. The zero value is unusable; start from
@@ -25,6 +27,13 @@ type Config struct {
 
 	// Workers bounds concurrent trials; 0 means GOMAXPROCS.
 	Workers int
+
+	// Backend selects the simulation engine for experiments that run
+	// whole-protocol trials (empty = dense, the historical default).
+	// BackendAuto lets large-population experiments like "scale" use the
+	// counts batch engine; experiments that need agent identities or
+	// population hooks always run dense.
+	Backend sim.Backend
 }
 
 // DefaultConfig returns the configuration used for EXPERIMENTS.md.
@@ -138,6 +147,7 @@ func All() []struct {
 		{"thm82", Theorem82},
 		{"epidemic", Epidemic},
 		{"ablation", Ablation},
+		{"scale", Scale},
 	}
 }
 

@@ -68,6 +68,7 @@ func Table1(cfg Config) []*Table {
 	trialCfg := func(n int) sim.TrialConfig {
 		return sim.TrialConfig{
 			Trials: cfg.Trials, Seed: cfg.Seed + uint64(n), Workers: cfg.Workers,
+			Backend:     cfg.Backend,
 			TrackStates: true,
 		}
 	}
@@ -78,7 +79,14 @@ func Table1(cfg Config) []*Table {
 	})
 	runOne("lottery [BKKO18-style]", "O(log n)", "O(log² n) whp", math.MaxInt, func(n int) []sim.Result {
 		p := lottery.MustNew(lottery.DefaultParams(n))
-		return sim.RunTrials[uint32, *lottery.Protocol](func(int) *lottery.Protocol { return p }, trialCfg(n))
+		// The lottery baseline is dense-only (no finite state-space
+		// enumeration); degrade an explicit counts request to auto, which
+		// falls back to dense for it.
+		tc := trialCfg(n)
+		if tc.Backend == sim.BackendCounts {
+			tc.Backend = sim.BackendAuto
+		}
+		return sim.RunTrials[uint32, *lottery.Protocol](func(int) *lottery.Protocol { return p }, tc)
 	})
 	runOne("gs18 [GS18]", "O(log log n)", "O(log² n) whp", math.MaxInt, func(n int) []sim.Result {
 		p := gs18.MustNew(gs18.DefaultParams(n))

@@ -79,7 +79,7 @@ func Theorem82(cfg Config) []*Table {
 	for _, n := range cfg.Sizes {
 		pr := core.MustNew(core.DefaultParams(n))
 		rs := sim.RunTrials[core.State, *core.Protocol](func(int) *core.Protocol { return pr },
-			sim.TrialConfig{Trials: cfg.Trials, Seed: cfg.Seed + 6 + uint64(n), Workers: cfg.Workers})
+			sim.TrialConfig{Trials: cfg.Trials, Seed: cfg.Seed + 6 + uint64(n), Workers: cfg.Workers, Backend: cfg.Backend})
 		ok := 0
 		for _, res := range rs {
 			if res.Converged && res.Leaders == 1 {
@@ -126,7 +126,7 @@ func Epidemic(cfg Config) []*Table {
 			continue
 		}
 		rs := sim.RunTrials[uint32, *epidemic.Protocol](func(int) *epidemic.Protocol { return p },
-			sim.TrialConfig{Trials: cfg.Trials, Seed: cfg.Seed + 7, Workers: cfg.Workers})
+			sim.TrialConfig{Trials: cfg.Trials, Seed: cfg.Seed + 7, Workers: cfg.Workers, Backend: cfg.Backend})
 		if !sim.AllConverged(rs) {
 			continue
 		}
@@ -171,7 +171,7 @@ func Ablation(cfg Config) []*Table {
 			v.mutate(&params)
 			pr := core.MustNew(params)
 			rs := sim.RunTrials[core.State, *core.Protocol](func(int) *core.Protocol { return pr },
-				sim.TrialConfig{Trials: cfg.Trials, Seed: cfg.Seed + 8 + uint64(n), Workers: cfg.Workers})
+				sim.TrialConfig{Trials: cfg.Trials, Seed: cfg.Seed + 8 + uint64(n), Workers: cfg.Workers, Backend: cfg.Backend})
 			if !sim.AllConverged(rs) {
 				t.AddRow(v.name, d(n), "timeout in "+d(len(rs)-sim.ConvergedCount(rs))+" trials", "—", "—", "—")
 				continue

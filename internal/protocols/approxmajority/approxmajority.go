@@ -87,3 +87,6 @@ func (p *Protocol) Winner(counts []int64) (uint32, bool) {
 	}
 	return Blank, false
 }
+
+// States implements sim.Enumerable.
+func (p *Protocol) States() []uint32 { return []uint32{Blank, X, Y} }

@@ -107,3 +107,6 @@ func (p *Protocol) Winner(counts []int64) (int, bool) {
 	}
 	return 0, true
 }
+
+// States implements sim.Enumerable.
+func (p *Protocol) States() []uint32 { return []uint32{StrongX, StrongY, WeakX, WeakY} }

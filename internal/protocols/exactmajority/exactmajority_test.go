@@ -150,3 +150,23 @@ func TestMetadata(t *testing.T) {
 		t.Fatal("unanimous winner broken")
 	}
 }
+
+var _ sim.Enumerable[uint32] = (*Protocol)(nil)
+
+// TestCountsBackendExactMajority checks the invariant the protocol is named
+// for on the counts backend: the initial strong-opinion margin decides the
+// winner exactly.
+func TestCountsBackendExactMajority(t *testing.T) {
+	p, _ := New(4000, 2040) // margin of 80 toward X
+	eng, err := sim.NewEngine[uint32, *Protocol](p, rng.New(11), sim.BackendCounts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := eng.Run()
+	if !res.Converged {
+		t.Fatalf("%+v", res)
+	}
+	if w, ok := p.Winner(res.Counts); !ok || w != 1 {
+		t.Fatalf("winner %d (ok=%v), want X despite the census-only simulation", w, ok)
+	}
+}

@@ -261,3 +261,30 @@ func (pr *Protocol) Leader(s uint32) bool { return s&candBit != 0 }
 func (pr *Protocol) Stable(counts []int64) bool {
 	return counts[ClassCandidate] == 1 && counts[ClassClimbing] == 0
 }
+
+// States implements sim.Enumerable: the cross-product of the packed state
+// fields, a finite superset of the reachable space (Γ·(Φ+1)·288 states).
+// This is what lets the counts backend run GS18 at populations of 10⁸–10⁹,
+// where the per-agent dense runner is out of reach.
+func (pr *Protocol) States() []uint32 {
+	out := make([]uint32, 0, int(pr.gamma)*int(pr.phi+1)*288)
+	for phase := uint32(0); phase < uint32(pr.gamma); phase++ {
+		for lvl := uint32(0); lvl <= uint32(pr.phi); lvl++ {
+			for _, stop := range [...]uint32{0, stopBit} {
+				for _, par := range [...]uint32{0, parityBit} {
+					for _, cand := range [...]uint32{0, candBit} {
+						for flip := flipNone; flip <= flipTails; flip++ {
+							for _, heads := range [...]uint32{0, headsSeenBit} {
+								for warm := uint32(0); warm <= warmupRounds; warm++ {
+									out = append(out, phase|lvl<<levelShift|stop|par|cand|
+										flip<<flipShift|heads|warm<<warmShift)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}

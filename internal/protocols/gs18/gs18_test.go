@@ -162,3 +162,42 @@ func TestMetadata(t *testing.T) {
 		t.Fatal("stability predicate broken")
 	}
 }
+
+// Enumerable contract: the counts backend requires the full finite state
+// space; see also sim's cross-backend tests, which check that a dense run
+// never leaves the enumeration.
+var _ sim.Enumerable[uint32] = (*Protocol)(nil)
+
+func TestStatesEnumeration(t *testing.T) {
+	pr := MustNew(DefaultParams(10000))
+	states := pr.States()
+	want := int(pr.gamma) * int(pr.phi+1) * 2 * 2 * 2 * 3 * 2 * 3
+	if len(states) != want {
+		t.Fatalf("States() returned %d states, want %d", len(states), want)
+	}
+	seen := make(map[uint32]struct{}, len(states))
+	for _, s := range states {
+		if _, dup := seen[s]; dup {
+			t.Fatalf("duplicate state %#x in enumeration", s)
+		}
+		seen[s] = struct{}{}
+		if c := pr.Class(s); int(c) >= pr.NumClasses() {
+			t.Fatalf("state %#x has class %d out of range", s, c)
+		}
+	}
+	if _, ok := seen[pr.Init(0)]; !ok {
+		t.Fatal("initial state missing from enumeration")
+	}
+}
+
+func TestCountsBackendElects(t *testing.T) {
+	pr := MustNew(DefaultParams(3000))
+	eng, err := sim.NewEngine[uint32, *Protocol](pr, rng.New(5), sim.BackendCounts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := eng.Run()
+	if !res.Converged || res.Leaders != 1 {
+		t.Fatalf("counts backend: %+v", res)
+	}
+}

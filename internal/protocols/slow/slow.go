@@ -57,3 +57,6 @@ func (p *Protocol) Leader(s uint32) bool { return s == leader }
 // Stable implements sim.Protocol: the candidate count only decreases and
 // cannot pass 1, so one candidate is absorbing.
 func (p *Protocol) Stable(counts []int64) bool { return counts[leader] == 1 }
+
+// States implements sim.Enumerable.
+func (p *Protocol) States() []uint32 { return []uint32{follower, leader} }

@@ -93,3 +93,17 @@ func TestStability(t *testing.T) {
 		t.Fatal("output map broken")
 	}
 }
+
+var _ sim.Enumerable[uint32] = (*Protocol)(nil)
+
+func TestCountsBackendElects(t *testing.T) {
+	p, _ := New(2000)
+	eng, err := sim.NewEngine[uint32, *Protocol](p, rng.New(6), sim.BackendCounts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := eng.Run()
+	if !res.Converged || res.Leaders != 1 {
+		t.Fatalf("counts backend: %+v", res)
+	}
+}

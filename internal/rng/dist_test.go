@@ -1,6 +1,7 @@
 package rng
 
 import (
+	"fmt"
 	"math"
 	"sort"
 	"testing"
@@ -209,5 +210,313 @@ func TestCoinFair(t *testing.T) {
 	frac := float64(heads) / trials
 	if math.Abs(frac-0.5) > 0.01 {
 		t.Fatalf("Coin heads fraction %.4f", frac)
+	}
+}
+
+// momentCheck verifies that the empirical mean and variance of draws are
+// within tol standard errors of the analytic values.
+func momentCheck(t *testing.T, name string, draw func() float64, n int, wantMean, wantVar float64) {
+	t.Helper()
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := draw()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	seMean := math.Sqrt(wantVar / float64(n))
+	if math.Abs(mean-wantMean) > 6*seMean+1e-9 {
+		t.Errorf("%s: mean %.4f, want %.4f (±%.4f)", name, mean, wantMean, 6*seMean)
+	}
+	// The variance of the sample variance is roughly 2·σ⁴/n for
+	// near-normal summands; allow a generous multiple.
+	seVar := wantVar * math.Sqrt(2/float64(n))
+	if math.Abs(variance-wantVar) > 10*seVar+1e-9 {
+		t.Errorf("%s: variance %.4f, want %.4f (±%.4f)", name, variance, wantVar, 10*seVar)
+	}
+}
+
+func TestBinomialMoments(t *testing.T) {
+	s := New(101)
+	cases := []struct {
+		n int64
+		p float64
+	}{
+		{1, 0.5},
+		{10, 0.1},
+		{100, 0.01},   // inversion regime
+		{100, 0.4},    // BTPE regime
+		{100, 0.9},    // symmetry + BTPE
+		{10000, 0.37}, // BTPE, large n
+		{1 << 30, 1e-7},
+		{1 << 40, 0.25},
+	}
+	for _, c := range cases {
+		name := fmt.Sprintf("Binomial(%d,%g)", c.n, c.p)
+		momentCheck(t, name, func() float64 { return float64(s.Binomial(c.n, c.p)) },
+			20000, float64(c.n)*c.p, float64(c.n)*c.p*(1-c.p))
+	}
+}
+
+func TestBinomialEdgeCases(t *testing.T) {
+	s := New(103)
+	if x := s.Binomial(0, 0.3); x != 0 {
+		t.Fatalf("Binomial(0, .3) = %d", x)
+	}
+	if x := s.Binomial(50, 0); x != 0 {
+		t.Fatalf("Binomial(50, 0) = %d", x)
+	}
+	if x := s.Binomial(50, 1); x != 50 {
+		t.Fatalf("Binomial(50, 1) = %d", x)
+	}
+	for i := 0; i < 1000; i++ {
+		if x := s.Binomial(7, 0.6); x < 0 || x > 7 {
+			t.Fatalf("Binomial(7, .6) = %d out of range", x)
+		}
+	}
+}
+
+// binomialPMF returns P[Bin(n, p) = k].
+func binomialPMF(n int64, p float64, k int64) float64 {
+	lg := func(v int64) float64 { l, _ := math.Lgamma(float64(v)); return l }
+	return math.Exp(lg(n+1) - lg(k+1) - lg(n-k+1) +
+		float64(k)*math.Log(p) + float64(n-k)*math.Log(1-p))
+}
+
+// hypergeometricPMF returns P[X = k] for X ~ Hypergeometric(good, bad, sample).
+func hypergeometricPMF(good, bad, sample, k int64) float64 {
+	lg := func(v int64) float64 { l, _ := math.Lgamma(float64(v)); return l }
+	if k < 0 || k > good || sample-k > bad || sample-k < 0 {
+		return 0
+	}
+	return math.Exp(lg(good+1) - lg(k+1) - lg(good-k+1) +
+		lg(bad+1) - lg(sample-k+1) - lg(bad-sample+k+1) -
+		(lg(good+bad+1) - lg(sample+1) - lg(good+bad-sample+1)))
+}
+
+// chiSquareCheck draws n samples and compares the histogram over
+// [lo, hi] (everything outside pooled into the edge bins) against the pmf
+// with a chi-square test at a very conservative threshold.
+func chiSquareCheck(t *testing.T, name string, draw func() int64, pmf func(int64) float64, n int, lo, hi int64) {
+	t.Helper()
+	bins := int(hi - lo + 1)
+	obs := make([]float64, bins)
+	for i := 0; i < n; i++ {
+		x := draw()
+		switch {
+		case x < lo:
+			obs[0]++
+		case x > hi:
+			obs[bins-1]++
+		default:
+			obs[x-lo]++
+		}
+	}
+	expected := make([]float64, bins)
+	for k := lo; k <= hi; k++ {
+		expected[k-lo] = pmf(k) * float64(n)
+	}
+	// Pool the tails into the edge bins.
+	tailLo, tailHi := 0.0, 0.0
+	for k := lo - 200; k < lo; k++ {
+		tailLo += pmf(k)
+	}
+	for k := hi + 1; k <= hi+200; k++ {
+		tailHi += pmf(k)
+	}
+	expected[0] += tailLo * float64(n)
+	expected[bins-1] += tailHi * float64(n)
+	chi2, df := 0.0, 0
+	for i := range obs {
+		if expected[i] < 5 {
+			continue // skip unstable tiny-expectation bins
+		}
+		d := obs[i] - expected[i]
+		chi2 += d * d / expected[i]
+		df++
+	}
+	if df < 3 {
+		t.Fatalf("%s: degenerate chi-square setup (df=%d)", name, df)
+	}
+	// For df degrees of freedom the statistic has mean df and std
+	// sqrt(2·df); 6 sigma keeps the false-failure rate negligible while
+	// still catching a mis-transcribed sampler immediately.
+	limit := float64(df) + 6*math.Sqrt(2*float64(df))
+	if chi2 > limit {
+		t.Errorf("%s: chi-square %.1f over %d bins exceeds %.1f", name, chi2, df, limit)
+	}
+}
+
+func TestBinomialChiSquare(t *testing.T) {
+	s := New(107)
+	cases := []struct {
+		n int64
+		p float64
+	}{
+		{40, 0.3},     // inversion
+		{400, 0.25},   // BTPE
+		{5000, 0.013}, // BTPE near the threshold
+		{300, 0.77},   // symmetry path
+	}
+	for _, c := range cases {
+		mean := float64(c.n) * c.p
+		sd := math.Sqrt(mean * (1 - c.p))
+		lo := int64(mean - 4*sd)
+		if lo < 0 {
+			lo = 0
+		}
+		hi := int64(mean + 4*sd)
+		if hi > c.n {
+			hi = c.n
+		}
+		name := fmt.Sprintf("Binomial(%d,%g)", c.n, c.p)
+		chiSquareCheck(t, name,
+			func() int64 { return s.Binomial(c.n, c.p) },
+			func(k int64) float64 { return binomialPMF(c.n, c.p, k) },
+			60000, lo, hi)
+	}
+}
+
+func TestHypergeometricMoments(t *testing.T) {
+	s := New(109)
+	cases := []struct{ good, bad, sample int64 }{
+		{5, 5, 3},                  // inversion
+		{50, 450, 8},               // inversion
+		{100, 100, 50},             // HRUA
+		{1000, 9000, 500},          // HRUA
+		{1 << 30, 1 << 31, 100000}, // HRUA, huge population
+		{300, 7, 200},              // more good than bad
+	}
+	for _, c := range cases {
+		nTot := float64(c.good + c.bad)
+		mean := float64(c.sample) * float64(c.good) / nTot
+		variance := mean * (float64(c.bad) / nTot) * (nTot - float64(c.sample)) / (nTot - 1)
+		name := fmt.Sprintf("Hypergeometric(%d,%d,%d)", c.good, c.bad, c.sample)
+		momentCheck(t, name,
+			func() float64 { return float64(s.Hypergeometric(c.good, c.bad, c.sample)) },
+			20000, mean, variance)
+	}
+}
+
+func TestHypergeometricChiSquare(t *testing.T) {
+	s := New(113)
+	cases := []struct{ good, bad, sample int64 }{
+		{30, 70, 8},      // inversion
+		{200, 300, 100},  // HRUA
+		{2000, 8000, 40}, // HRUA, small sample fraction
+	}
+	for _, c := range cases {
+		nTot := float64(c.good + c.bad)
+		mean := float64(c.sample) * float64(c.good) / nTot
+		sd := math.Sqrt(mean*(float64(c.bad)/nTot)*(nTot-float64(c.sample))/(nTot-1)) + 1
+		lo := int64(mean - 4*sd)
+		if lo < 0 {
+			lo = 0
+		}
+		hi := int64(mean + 4*sd)
+		name := fmt.Sprintf("Hypergeometric(%d,%d,%d)", c.good, c.bad, c.sample)
+		chiSquareCheck(t, name,
+			func() int64 { return s.Hypergeometric(c.good, c.bad, c.sample) },
+			func(k int64) float64 { return hypergeometricPMF(c.good, c.bad, c.sample, k) },
+			60000, lo, hi)
+	}
+}
+
+func TestHypergeometricRange(t *testing.T) {
+	s := New(127)
+	for i := 0; i < 5000; i++ {
+		x := s.Hypergeometric(12, 7, 15)
+		// max(0, sample-bad) ≤ x ≤ min(good, sample)
+		if x < 8 || x > 12 {
+			t.Fatalf("Hypergeometric(12, 7, 15) = %d out of [8, 12]", x)
+		}
+	}
+	if x := s.Hypergeometric(5, 5, 0); x != 0 {
+		t.Fatalf("sample=0 gave %d", x)
+	}
+	if x := s.Hypergeometric(0, 9, 4); x != 0 {
+		t.Fatalf("good=0 gave %d", x)
+	}
+	if x := s.Hypergeometric(9, 0, 4); x != 4 {
+		t.Fatalf("bad=0 gave %d", x)
+	}
+}
+
+func TestAliasMatchesWeights(t *testing.T) {
+	s := New(131)
+	weights := []float64{5, 0, 1, 3, 0.5, 0.5}
+	a, err := NewAlias(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != len(weights) {
+		t.Fatalf("N = %d", a.N())
+	}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	const draws = 200000
+	counts := make([]int, len(weights))
+	for i := 0; i < draws; i++ {
+		counts[a.Sample(s)]++
+	}
+	for i, w := range weights {
+		want := w / total
+		got := float64(counts[i]) / draws
+		se := math.Sqrt(want*(1-want)/draws) + 1e-12
+		if math.Abs(got-want) > 6*se {
+			t.Errorf("category %d: frequency %.4f, want %.4f", i, got, want)
+		}
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight category drawn %d times", counts[1])
+	}
+}
+
+func TestAliasSingleCategory(t *testing.T) {
+	a := MustAlias([]float64{42})
+	s := New(137)
+	for i := 0; i < 100; i++ {
+		if a.Sample(s) != 0 {
+			t.Fatal("single-category alias must always return 0")
+		}
+	}
+}
+
+func TestAliasErrors(t *testing.T) {
+	for _, weights := range [][]float64{
+		{},
+		{0, 0},
+		{1, -1},
+		{math.NaN()},
+		{math.Inf(1)},
+	} {
+		if _, err := NewAlias(weights); err == nil {
+			t.Errorf("NewAlias(%v) must fail", weights)
+		}
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(139)
+	momentCheck(t, "Normal", s.Normal, 200000, 0, 1)
+	// Symmetry and tail sanity.
+	neg, far := 0, 0
+	for i := 0; i < 100000; i++ {
+		x := s.Normal()
+		if x < 0 {
+			neg++
+		}
+		if math.Abs(x) > 4 {
+			far++
+		}
+	}
+	if neg < 49000 || neg > 51000 {
+		t.Fatalf("negative fraction %d/100000", neg)
+	}
+	if far > 40 { // P(|Z|>4) ≈ 6.3e-5 → ~6 expected
+		t.Fatalf("%d samples beyond 4 sigma", far)
 	}
 }

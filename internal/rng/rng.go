@@ -11,6 +11,10 @@ package rng
 // valid generator; use New or NewStream.
 type Source struct {
 	s0, s1, s2, s3 uint64
+
+	// Marsaglia polar method spare (see Normal).
+	spare    float64
+	hasSpare bool
 }
 
 // splitMix64 advances x by the SplitMix64 sequence and returns the next
@@ -45,6 +49,8 @@ func NewStream(seed uint64, stream uint64) *Source {
 
 // Seed resets the generator state from a 64-bit seed.
 func (s *Source) Seed(seed uint64) {
+	s.spare = 0
+	s.hasSpare = false
 	x := seed
 	s.s0 = splitMix64(&x)
 	s.s1 = splitMix64(&x)

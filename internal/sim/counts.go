@@ -1,0 +1,626 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"popelect/internal/rng"
+)
+
+// CountsEngine is the "counts" simulation backend: it represents the
+// population as a state→count multiset instead of a per-agent array.
+// Because agents are anonymous and transitions depend only on states, the
+// census determines the process completely, so the uniform random scheduler
+// can be simulated on counts alone — and, crucially, in batches.
+//
+// A batch of ℓ interactions over pairwise-distinct agents is advanced with
+// O(occupied states) aggregated random draws instead of O(ℓ) individual
+// ones: the responder states of the batch follow a multivariate
+// hypergeometric split of the census (a chain of rng.Hypergeometric draws),
+// the initiators follow the same law on the remaining agents, and the
+// random pairing between them is sampled per responder class — via an
+// rng.Alias category sampler over the initiator pool for small classes, and
+// hypergeometric chains for large ones. Interaction pairs within such a
+// batch touch disjoint agents, so their transitions commute and the whole
+// batch collapses into census increments weighted by pair-class counts.
+//
+// The batch law differs from the sequential scheduler in that agents never
+// interact twice within one batch (true collisions are Θ(ℓ²/n) per batch),
+// which biases stabilization times upward — measured at ≈10% on GS18 with
+// the default ℓ = n/8 batches, ≈30% at the maximal ℓ = n/2 (it also
+// suppresses the heavy upper tail the sequential scheduler produces in the
+// slow-backup regime). Populations below ExactMaxN are instead advanced one
+// interaction at a time, which reproduces the dense scheduler's law
+// exactly; that regime backs the cross-backend equivalence tests.
+//
+// A CountsEngine is single-goroutine, like Runner.
+type CountsEngine[S comparable] struct {
+	proto Enumerable[S]
+	src   *rng.Source
+	n     int
+
+	// MaxInteractions bounds Run; 0 means DefaultBudget(n).
+	MaxInteractions uint64
+
+	// BatchLen is the number of interactions advanced per aggregated
+	// batch. 0 selects automatically: exact per-interaction simulation
+	// below ExactMaxN agents, n/8 above. 1 forces exact simulation.
+	// Values above n/2 are clamped to n/2 (a batch cannot involve more
+	// than n distinct agents; n/2 is the synchronous-matching-style
+	// regime that maximizes throughput). Shorter batches track the
+	// sequential scheduler more closely at proportionally more compute:
+	// on GS18 leader election the stabilization-time mean runs ≈10%
+	// above the dense scheduler's at n/8 and ≈30% above at n/2, while
+	// per-batch compute is essentially batch-length independent.
+	BatchLen uint64
+
+	// State indexing is lazy: states are assigned dense int32 ids in
+	// order of first appearance (initial census, then Delta outputs).
+	states   []S
+	index    map[S]int32
+	classOf  []uint8
+	leaderOf []bool
+
+	pop  []int64 // id → live agent count
+	fen  fenwick // prefix-sum tree over pop, for exact-mode sampling
+	diff []int64 // id → pending census change within a batch
+
+	classCounts []int64
+	leaders     int64
+	step        uint64
+
+	// deltaCache memoizes Delta on id pairs: key a<<32|b → a'<<32|b'.
+	// While the state count stays at or below deltaTabMaxStride, lookups
+	// go through deltaTab, a flat stride×stride table indexed by
+	// a·stride + b (sentinel ^0 = empty) — a map lookup per interaction
+	// pair class is a measurable fraction of batch time otherwise.
+	deltaCache  map[uint64]uint64
+	deltaTab    []uint64
+	deltaStride int
+
+	// Per-batch scratch, reused across batches.
+	occ      []int32
+	resp     []int64
+	pool     []int64
+	poolInit []int64
+	weights  []float64
+	touched  []int32
+}
+
+// ExactMaxN is the population size below which the counts backend defaults
+// to exact per-interaction simulation instead of batching. Exact mode
+// reproduces the dense scheduler's distribution precisely; batching
+// approximates it (agents interact at most once per batch).
+const ExactMaxN = 1 << 17
+
+// smallRowMax bounds the responder-class batch share drawn initiator by
+// initiator through the alias sampler; larger classes use a hypergeometric
+// chain over the whole initiator pool instead.
+const smallRowMax = 64
+
+// NewCountsEngine creates a counts engine for proto. The protocol must have
+// a finite state space (see Enumerable); population size must be at least 2.
+func NewCountsEngine[S comparable](proto Enumerable[S], src *rng.Source) *CountsEngine[S] {
+	n := proto.N()
+	if n < 2 {
+		panic(fmt.Sprintf("sim: population size %d < 2", n))
+	}
+	e := &CountsEngine[S]{proto: proto, src: src, n: n}
+	e.Reset()
+	return e
+}
+
+// Reset reinitializes the census to the protocol's initial configuration,
+// clearing all counters. The PRNG is not reseeded.
+func (e *CountsEngine[S]) Reset() {
+	e.states = e.states[:0]
+	e.index = make(map[S]int32)
+	e.classOf = e.classOf[:0]
+	e.leaderOf = e.leaderOf[:0]
+	e.pop = e.pop[:0]
+	e.diff = e.diff[:0]
+	e.deltaCache = nil
+	e.deltaStride = 0
+	e.growDeltaTab()
+	e.classCounts = make([]int64, e.proto.NumClasses())
+	e.leaders = 0
+	e.step = 0
+	for i := 0; i < e.n; i++ {
+		id := e.indexOf(e.proto.Init(i))
+		e.pop[id]++
+		e.classCounts[e.classOf[id]]++
+		if e.leaderOf[id] {
+			e.leaders++
+		}
+	}
+	e.rebuildFenwick()
+}
+
+// indexOf returns the dense id for state s, assigning the next free id on
+// first sight.
+func (e *CountsEngine[S]) indexOf(s S) int32 {
+	if id, ok := e.index[s]; ok {
+		return id
+	}
+	id := int32(len(e.states))
+	e.states = append(e.states, s)
+	e.index[s] = id
+	e.classOf = append(e.classOf, e.proto.Class(s))
+	e.leaderOf = append(e.leaderOf, e.proto.Leader(s))
+	e.pop = append(e.pop, 0)
+	e.diff = append(e.diff, 0)
+	if len(e.states) > e.fen.cap {
+		e.rebuildFenwick()
+	}
+	if e.deltaStride != 0 && len(e.states) > e.deltaStride {
+		e.growDeltaTab()
+	}
+	return id
+}
+
+func (e *CountsEngine[S]) rebuildFenwick() {
+	e.fen.init(len(e.states) + 16)
+	for id, c := range e.pop {
+		if c != 0 {
+			e.fen.add(int32(id), c)
+		}
+	}
+}
+
+// deltaTabMaxStride caps the flat transition table at 2048×2048 entries
+// (32 MiB); protocols that discover more distinct states fall back to the
+// map cache.
+const deltaTabMaxStride = 1 << 11
+
+// growDeltaTab (re)allocates the flat transition table for the current
+// state count, or switches to the map cache once the table would get too
+// big. Dropping memoized entries on growth is fine — they are recomputed
+// lazily from the pure Delta function.
+func (e *CountsEngine[S]) growDeltaTab() {
+	stride := 1 << 8
+	for stride < len(e.states) {
+		stride <<= 1
+	}
+	if stride > deltaTabMaxStride {
+		e.deltaTab = nil
+		e.deltaStride = 0
+		if e.deltaCache == nil {
+			e.deltaCache = make(map[uint64]uint64)
+		}
+		return
+	}
+	e.deltaTab = make([]uint64, stride*stride)
+	for i := range e.deltaTab {
+		e.deltaTab[i] = ^uint64(0)
+	}
+	e.deltaStride = stride
+}
+
+// deltaIDs applies the transition function to an ordered id pair, indexing
+// any newly discovered successor states.
+func (e *CountsEngine[S]) deltaIDs(a, b int32) (int32, int32) {
+	if e.deltaStride != 0 {
+		idx := int(a)*e.deltaStride + int(b)
+		if v := e.deltaTab[idx]; v != ^uint64(0) {
+			return int32(v >> 32), int32(v & 0xffffffff)
+		}
+		a2, b2 := e.deltaIDsSlow(a, b)
+		if e.deltaStride != 0 { // indexOf may have dropped the table
+			e.deltaTab[int(a)*e.deltaStride+int(b)] = uint64(uint32(a2))<<32 | uint64(uint32(b2))
+		}
+		return a2, b2
+	}
+	key := uint64(uint32(a))<<32 | uint64(uint32(b))
+	if v, ok := e.deltaCache[key]; ok {
+		return int32(v >> 32), int32(v & 0xffffffff)
+	}
+	a2, b2 := e.deltaIDsSlow(a, b)
+	e.deltaCache[key] = uint64(uint32(a2))<<32 | uint64(uint32(b2))
+	return a2, b2
+}
+
+func (e *CountsEngine[S]) deltaIDsSlow(a, b int32) (int32, int32) {
+	na, nb := e.proto.Delta(e.states[a], e.states[b])
+	return e.indexOf(na), e.indexOf(nb)
+}
+
+// SetBudget implements Engine.
+func (e *CountsEngine[S]) SetBudget(max uint64) { e.MaxInteractions = max }
+
+// Steps implements Engine.
+func (e *CountsEngine[S]) Steps() uint64 { return e.step }
+
+// Counts implements Engine: the live per-class census. Callers must treat
+// it as read-only.
+func (e *CountsEngine[S]) Counts() []int64 { return e.classCounts }
+
+// Leaders implements Engine.
+func (e *CountsEngine[S]) Leaders() int { return int(e.leaders) }
+
+// DistinctStates returns the number of distinct agent states observed since
+// the last Reset. The counts backend tracks this inherently.
+func (e *CountsEngine[S]) DistinctStates() int { return len(e.states) }
+
+// VisitStates calls f for every state with a nonzero live count.
+func (e *CountsEngine[S]) VisitStates(f func(s S, count int64)) {
+	for id, c := range e.pop {
+		if c > 0 {
+			f(e.states[id], c)
+		}
+	}
+}
+
+func (e *CountsEngine[S]) bump(id int32, d int64) {
+	c := e.pop[id] + d
+	if c < 0 {
+		panic(fmt.Sprintf("sim: counts backend drove state %d census negative", id))
+	}
+	e.pop[id] = c
+	e.fen.add(id, d)
+	e.classCounts[e.classOf[id]] += d
+	if e.leaderOf[id] {
+		e.leaders += d
+	}
+}
+
+// Step implements Engine: one exact interaction, sampled on counts with the
+// same law as the dense scheduler (responder uniform over agents, initiator
+// uniform over the rest). The census units form an implicit agent indexing,
+// so "a distinct initiator" is a redraw of the responder's unit index —
+// cheaper than temporarily removing the responder from the prefix tree.
+func (e *CountsEngine[S]) Step() bool {
+	u1 := e.src.Uintn(uint64(e.n))
+	a := e.fen.find(u1)
+	u2 := e.src.Uintn(uint64(e.n))
+	for u2 == u1 {
+		u2 = e.src.Uintn(uint64(e.n))
+	}
+	b := e.fen.find(u2)
+	e.step++
+	a2, b2 := e.deltaIDs(a, b)
+	if a2 == a && b2 == b {
+		return false
+	}
+	e.moveOne(a, a2)
+	e.moveOne(b, b2)
+	return true
+}
+
+// moveOne transfers one agent between states, skipping identity moves.
+func (e *CountsEngine[S]) moveOne(from, to int32) {
+	if from != to {
+		e.bump(from, -1)
+		e.bump(to, 1)
+	}
+}
+
+// ApplyPair advances the engine by one interaction with the given
+// (responder, initiator) states, bypassing the scheduler. It is the replay
+// hook used by the cross-backend equivalence tests: feeding the counts
+// engine the state pairs recorded from a dense run must reproduce the dense
+// census trajectory exactly. It panics if the census holds no agent pair in
+// the given states.
+func (e *CountsEngine[S]) ApplyPair(responder, initiator S) bool {
+	a := e.indexOf(responder)
+	b := e.indexOf(initiator)
+	if e.pop[a] == 0 || e.pop[b] == 0 || (a == b && e.pop[a] < 2) {
+		panic(fmt.Sprintf("sim: ApplyPair(%v, %v) without live agents", responder, initiator))
+	}
+	e.step++
+	a2, b2 := e.deltaIDs(a, b)
+	if a2 == a && b2 == b {
+		return false
+	}
+	e.moveOne(a, a2)
+	e.moveOne(b, b2)
+	return true
+}
+
+// batchLen returns the batch size to use next, at most `remaining`.
+func (e *CountsEngine[S]) batchLen(remaining uint64) uint64 {
+	l := e.BatchLen
+	if l == 0 {
+		if e.n < ExactMaxN {
+			l = 1
+		} else {
+			l = uint64(e.n) / 8
+		}
+	}
+	if lim := uint64(e.n) / 2; l > lim {
+		l = lim
+	}
+	if l > remaining {
+		l = remaining
+	}
+	if l < 1 {
+		l = 1
+	}
+	return l
+}
+
+// hyperNormalMinVar is the variance threshold above which the batch chains
+// approximate a hypergeometric draw with a moment-matched rounded normal
+// (support-clamped). At the σ ≥ 5 this sets, an individual draw's pmf error
+// is on the order of 1/σ ≤ 20% on the skew term (mean and variance are
+// exact); across the thousands of independent cell draws of a batch these
+// errors largely cancel, and the net effect is bounded by the same
+// cross-backend tolerance tests that bound the batching bias itself. The
+// payoff is removing the log-gamma evaluations that otherwise dominate
+// batch time. Draws with smaller variance — in particular everything
+// involving the small candidate classes, where integrality is critical —
+// stay exact.
+const hyperNormalMinVar = 25
+
+// hyper draws from Hypergeometric(good, bad, sample): exactly for
+// small-variance draws, via a moment-matched normal for large ones.
+func (e *CountsEngine[S]) hyper(good, bad, sample int64) int64 {
+	if good == 0 || sample == 0 {
+		return 0
+	}
+	if bad == 0 {
+		return sample
+	}
+	nf := float64(good + bad)
+	mean := float64(sample) * float64(good) / nf
+	v := mean * (float64(bad) / nf) * float64(good+bad-sample) / (nf - 1)
+	if v < hyperNormalMinVar {
+		return clampHyper(e.src.Hypergeometric(good, bad, sample), good, bad, sample)
+	}
+	k := int64(math.Round(mean + math.Sqrt(v)*e.src.Normal()))
+	return clampHyper(k, good, bad, sample)
+}
+
+// clampHyper bounds a hypergeometric draw to its exact support, guarding
+// the census splits against any floating-point edge case in the sampler.
+func clampHyper(k, good, bad, sample int64) int64 {
+	if lo := sample - bad; k < lo {
+		k = lo
+	}
+	if k < 0 {
+		k = 0
+	}
+	if k > good {
+		k = good
+	}
+	if k > sample {
+		k = sample
+	}
+	return k
+}
+
+// runBatch advances l interactions (2·l ≤ n) in one aggregated draw.
+func (e *CountsEngine[S]) runBatch(l uint64) {
+	// Occupied state positions. occ, and every per-position slice below,
+	// is indexed by position in occ, not by state id.
+	occ := e.occ[:0]
+	for id, c := range e.pop {
+		if c > 0 {
+			occ = append(occ, int32(id))
+		}
+	}
+	// Largest classes first: the pairing chains below scan columns in this
+	// order, so a row's draw budget is exhausted after the few big columns
+	// and the long tail of near-empty classes is rarely visited at all.
+	sort.Slice(occ, func(i, j int) bool { return e.pop[occ[i]] > e.pop[occ[j]] })
+	e.occ = occ
+
+	// Responder split: a multivariate hypergeometric draw of l agents
+	// from the census, class by class.
+	resp := ensureLen(&e.resp, len(occ))
+	rem := int64(e.n)
+	need := int64(l)
+	for j, id := range occ {
+		c := e.pop[id]
+		var k int64
+		if need > 0 {
+			k = e.hyper(c, rem-c, need)
+		}
+		resp[j] = k
+		need -= k
+		rem -= c
+	}
+
+	// Initiator pool: the remaining agents. poolInit keeps the initial
+	// pool for the alias sampler's acceptance ratio.
+	pool := ensureLen(&e.pool, len(occ))
+	poolInit := ensureLen(&e.poolInit, len(occ))
+	weights := ensureLen(&e.weights, len(occ))
+	poolTotal := int64(e.n) - int64(l)
+	for j, id := range occ {
+		pool[j] = e.pop[id] - resp[j]
+		poolInit[j] = pool[j]
+		weights[j] = float64(pool[j])
+	}
+	alias := rng.MustAlias(weights)
+
+	// The alias sampler proposes from the batch-start pool and corrects by
+	// rejection, which degenerates once most of the pool is consumed; for
+	// long batches every row goes through the hypergeometric chains, which
+	// handle pool exhaustion exactly.
+	smallRow := int64(smallRowMax)
+	if int64(l) > int64(e.n)/3 {
+		smallRow = 0
+	}
+
+	// Pair each responder class with its initiators. The pairing is
+	// exchangeable, so processing classes in a fixed order is unbiased.
+	for j, id := range occ {
+		k := resp[j]
+		if k == 0 {
+			continue
+		}
+		if k <= smallRow {
+			// Draw k initiators one by one: propose from the initial
+			// pool via the alias table, accept with probability
+			// pool/poolInit — exact sampling without replacement.
+			for t := int64(0); t < k; t++ {
+				var b int
+				for {
+					b = alias.Sample(e.src)
+					if pool[b] > 0 && float64(poolInit[b])*e.src.Float64() < float64(pool[b]) {
+						break
+					}
+				}
+				pool[b]--
+				poolTotal--
+				a2, b2 := e.deltaIDs(id, occ[b])
+				e.stage(id, occ[b], a2, b2, 1)
+			}
+			continue
+		}
+		// Large class: split its k initiators over the pool with a
+		// hypergeometric chain.
+		remPool := poolTotal
+		d := k
+		for b := range occ {
+			if d == 0 {
+				break
+			}
+			pb := pool[b]
+			if pb == 0 {
+				continue
+			}
+			kb := e.hyper(pb, remPool-pb, d)
+			if kb > 0 {
+				pool[b] = pb - kb
+				d -= kb
+				a2, b2 := e.deltaIDs(id, occ[b])
+				e.stage(id, occ[b], a2, b2, kb)
+			}
+			remPool -= pb
+		}
+		poolTotal -= k
+	}
+
+	// Commit the staged census changes.
+	for _, id := range e.touched {
+		d := e.diff[id]
+		if d == 0 {
+			continue
+		}
+		e.diff[id] = 0
+		e.bump(id, d)
+	}
+	e.touched = e.touched[:0]
+	e.step += l
+}
+
+// stage records the census effect of k interactions of one pair class
+// without committing it: within a batch all pairs touch distinct agents, so
+// effects are computed against the batch-start census and applied at once.
+func (e *CountsEngine[S]) stage(a, b, a2, b2 int32, k int64) {
+	e.stageOne(a, -k)
+	e.stageOne(b, -k)
+	e.stageOne(a2, k)
+	e.stageOne(b2, k)
+}
+
+func (e *CountsEngine[S]) stageOne(id int32, d int64) {
+	if e.diff[id] == 0 {
+		e.touched = append(e.touched, id)
+	}
+	e.diff[id] += d
+}
+
+// Run implements Engine.
+func (e *CountsEngine[S]) Run() Result {
+	budget := e.MaxInteractions
+	if budget == 0 {
+		budget = DefaultBudget(e.n)
+	}
+	converged := e.proto.Stable(e.classCounts)
+	for !converged && e.step < budget {
+		l := e.batchLen(budget - e.step)
+		if l <= 1 || e.n < 4 {
+			// Identity interactions leave the census alone; Stable is
+			// absorbing on census classes, so only changes can flip it.
+			if e.Step() {
+				converged = e.proto.Stable(e.classCounts)
+			}
+		} else {
+			e.runBatch(l)
+			converged = e.proto.Stable(e.classCounts)
+		}
+	}
+	return e.result(converged)
+}
+
+// RunSteps implements Engine: executes at least k further interactions
+// (rounded up to whole batches in batch mode) without stopping at
+// stability, returning the current Result snapshot.
+func (e *CountsEngine[S]) RunSteps(k uint64) Result {
+	end := e.step + k
+	for e.step < end {
+		l := e.batchLen(end - e.step)
+		if l <= 1 || e.n < 4 {
+			e.Step()
+		} else {
+			e.runBatch(l)
+		}
+	}
+	return e.result(e.proto.Stable(e.classCounts))
+}
+
+func (e *CountsEngine[S]) result(converged bool) Result {
+	return Result{
+		Converged:      converged,
+		Interactions:   e.step,
+		N:              e.n,
+		Leaders:        int(e.leaders),
+		LeaderID:       -1, // agents are anonymous in the counts backend
+		Counts:         append([]int64(nil), e.classCounts...),
+		DistinctStates: len(e.states),
+	}
+}
+
+// ensureLen grows *s to length n (reusing capacity) and returns it.
+func ensureLen[T any](s *[]T, n int) []T {
+	if cap(*s) < n {
+		*s = make([]T, n)
+	}
+	*s = (*s)[:n]
+	return *s
+}
+
+// fenwick is a binary indexed tree over int64 counts with prefix-sum
+// selection, used by the exact per-interaction mode to draw a state
+// proportionally to its count in O(log states).
+type fenwick struct {
+	tree []int64 // 1-indexed; tree[i] covers the range (i − lowbit(i), i]
+	cap  int     // power of two ≥ slot count
+}
+
+func (f *fenwick) init(n int) {
+	c := 1
+	for c < n {
+		c <<= 1
+	}
+	f.cap = c
+	if cap(f.tree) >= c+1 {
+		f.tree = f.tree[:c+1]
+		clear(f.tree)
+	} else {
+		f.tree = make([]int64, c+1)
+	}
+}
+
+func (f *fenwick) add(i int32, d int64) {
+	for j := int(i) + 1; j <= f.cap; j += j & -j {
+		f.tree[j] += d
+	}
+}
+
+// find returns the smallest slot index whose prefix sum exceeds u; with u
+// uniform on [0, total) this selects a slot proportionally to its count.
+func (f *fenwick) find(u uint64) int32 {
+	pos := 0
+	rem := int64(u)
+	for bit := f.cap; bit > 0; bit >>= 1 {
+		if next := pos + bit; next <= f.cap && f.tree[next] <= rem {
+			pos = next
+			rem -= f.tree[next]
+		}
+	}
+	return int32(pos)
+}

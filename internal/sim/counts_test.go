@@ -1,0 +1,211 @@
+package sim
+
+import (
+	"testing"
+
+	"popelect/internal/rng"
+)
+
+// enumDuel is the duel fixture with finite state-space enumeration, making
+// it eligible for the counts backend.
+type enumDuel struct{ duel }
+
+func (enumDuel) States() []uint32 { return []uint32{0, 1} }
+
+// skewInit is a three-state fixture whose initial configuration depends on
+// the agent index, exercising the counts backend's initial census loop:
+// agents come in X and Y flavors, X converts Y on contact.
+type skewInit struct{ n, x int }
+
+func (p skewInit) Name() string { return "skewInit" }
+func (p skewInit) N() int       { return p.n }
+func (p skewInit) Init(i int) uint32 {
+	if i < p.x {
+		return 1
+	}
+	return 0
+}
+func (p skewInit) Delta(r, i uint32) (uint32, uint32) {
+	if i == 1 {
+		return 1, 1
+	}
+	return r, i
+}
+func (p skewInit) NumClasses() int       { return 2 }
+func (p skewInit) Class(s uint32) uint8  { return uint8(s) }
+func (p skewInit) Leader(s uint32) bool  { return false }
+func (p skewInit) Stable(c []int64) bool { return c[0] == 0 }
+func (p skewInit) States() []uint32      { return []uint32{0, 1} }
+
+func TestCountsDuelElectsOneLeader(t *testing.T) {
+	for _, n := range []int{2, 3, 10, 100, 5000} {
+		e := NewCountsEngine[uint32](enumDuel{duel{n}}, rng.New(uint64(n)))
+		res := e.Run()
+		if !res.Converged {
+			t.Fatalf("n=%d: %v", n, res)
+		}
+		if res.Leaders != 1 || res.Counts[1] != 1 || res.Counts[0] != int64(n-1) {
+			t.Fatalf("n=%d: %+v", n, res)
+		}
+		if res.LeaderID != -1 {
+			t.Fatalf("n=%d: counts backend must not report an agent id, got %d", n, res.LeaderID)
+		}
+		if res.DistinctStates != 2 {
+			t.Fatalf("n=%d: distinct states %d", n, res.DistinctStates)
+		}
+	}
+}
+
+func TestCountsBatchModeConverges(t *testing.T) {
+	// Force batch mode on a moderate population: every batch advances
+	// n/8 interactions in aggregated draws.
+	e := NewCountsEngine[uint32](enumDuel{duel{1 << 14}}, rng.New(9))
+	e.BatchLen = 1 << 11
+	res := e.Run()
+	if !res.Converged || res.Leaders != 1 {
+		t.Fatalf("batch mode failed to elect: %+v", res)
+	}
+	if res.Interactions%(1<<11) != 0 {
+		// Convergence is detected at batch granularity.
+		t.Fatalf("interactions %d not a multiple of the batch length", res.Interactions)
+	}
+}
+
+func TestCountsInitialCensusRespectsInit(t *testing.T) {
+	e := NewCountsEngine[uint32](skewInit{n: 1000, x: 123}, rng.New(1))
+	if got := e.Counts(); got[1] != 123 || got[0] != 877 {
+		t.Fatalf("initial census = %v", got)
+	}
+	res := e.Run()
+	if !res.Converged || res.Counts[1] != 1000 {
+		t.Fatalf("%+v", res)
+	}
+}
+
+func TestCountsStepMatchesCensus(t *testing.T) {
+	e := NewCountsEngine[uint32](enumDuel{duel{50}}, rng.New(7))
+	for i := 0; i < 200; i++ {
+		e.Step()
+		total := int64(0)
+		for _, c := range e.Counts() {
+			total += c
+		}
+		if total != 50 {
+			t.Fatalf("census lost agents after step %d: %v", i, e.Counts())
+		}
+	}
+	if e.Steps() != 200 {
+		t.Fatalf("Steps = %d", e.Steps())
+	}
+}
+
+func TestCountsRunStepsAndReset(t *testing.T) {
+	e := NewCountsEngine[uint32](enumDuel{duel{64}}, rng.New(3))
+	res := e.RunSteps(40)
+	if res.Interactions != 40 || e.Steps() != 40 {
+		t.Fatalf("RunSteps advanced %d", res.Interactions)
+	}
+	e.Reset()
+	if e.Steps() != 0 || e.Counts()[1] != 64 || e.Leaders() != 64 {
+		t.Fatal("Reset did not restore the initial census")
+	}
+}
+
+func TestCountsBudget(t *testing.T) {
+	e := NewCountsEngine[uint32](enumDuel{duel{500}}, rng.New(11))
+	e.SetBudget(4)
+	res := e.Run()
+	if res.Converged || res.Interactions != 4 {
+		t.Fatalf("budgeted run: %+v", res)
+	}
+}
+
+// TestCountsBatchMassiveDuel runs the duel at a population far beyond what
+// the dense backend could touch per-interaction in test time: 10⁸ agents.
+// Duel needs Θ(n²) interactions to finish, so run a fixed number of steps
+// and check mass conservation and leader-count monotonicity instead.
+func TestCountsBatchMassiveDuel(t *testing.T) {
+	const n = 100_000_000
+	e := NewCountsEngine[uint32](enumDuel{duel{n}}, rng.New(5))
+	res := e.RunSteps(20 * n)
+	if res.Converged {
+		t.Fatal("duel cannot finish in 20 parallel time units")
+	}
+	if res.Counts[0]+res.Counts[1] != n {
+		t.Fatalf("census lost agents: %v", res.Counts)
+	}
+	// After 20 parallel time units of pairwise elimination the leader
+	// count should have collapsed to Θ(1/t) · n-ish; loosely, below n/10
+	// and above 0.
+	if res.Leaders <= 0 || int64(res.Leaders) >= n/10 {
+		t.Fatalf("implausible leader count %d after %d interactions", res.Leaders, res.Interactions)
+	}
+}
+
+func TestNewEngineBackends(t *testing.T) {
+	src := rng.New(1)
+	if _, err := NewEngine[uint32, duel](duel{10}, src, BackendCounts); err == nil {
+		t.Fatal("counts backend must reject a non-Enumerable protocol")
+	}
+	eng, err := NewEngine[uint32, duel](duel{10}, src, BackendAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := eng.(*Runner[uint32, duel]); !ok {
+		t.Fatalf("auto on non-enumerable must be dense, got %T", eng)
+	}
+	eng, err = NewEngine[uint32, enumDuel](enumDuel{duel{10}}, src, BackendAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := eng.(*Runner[uint32, enumDuel]); !ok {
+		t.Fatalf("auto below the size threshold must be dense, got %T", eng)
+	}
+	eng, err = NewEngine[uint32, enumDuel](enumDuel{duel{AutoCountsMinN}}, src, BackendAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := eng.(*CountsEngine[uint32]); !ok {
+		t.Fatalf("auto at the size threshold must be counts, got %T", eng)
+	}
+	if _, err := NewEngine[uint32, duel](duel{10}, src, Backend("bogus")); err == nil {
+		t.Fatal("bogus backend must error")
+	}
+}
+
+func TestParseBackend(t *testing.T) {
+	for s, want := range map[string]Backend{
+		"":       BackendAuto,
+		"dense":  BackendDense,
+		"counts": BackendCounts,
+		"auto":   BackendAuto,
+	} {
+		got, err := ParseBackend(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseBackend(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseBackend("fast"); err == nil {
+		t.Fatal("ParseBackend must reject unknown names")
+	}
+}
+
+func TestFenwick(t *testing.T) {
+	var f fenwick
+	f.init(5)
+	counts := []int64{3, 0, 2, 5, 1}
+	for i, c := range counts {
+		f.add(int32(i), c)
+	}
+	// The u-th unit item (0-based) lands in the slot covering it.
+	want := []int32{0, 0, 0, 2, 2, 3, 3, 3, 3, 3, 4}
+	for u, w := range want {
+		if got := f.find(uint64(u)); got != w {
+			t.Fatalf("find(%d) = %d, want %d", u, got, w)
+		}
+	}
+	f.add(0, -3)
+	if got := f.find(0); got != 2 {
+		t.Fatalf("after removal find(0) = %d, want 2", got)
+	}
+}

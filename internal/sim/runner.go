@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
 
 // Hook observes a single applied interaction. step is the 1-based step
 // index; ri and ii are the responder and initiator agent indices; oldR/oldI
@@ -46,12 +50,17 @@ type Runner[S comparable, P Protocol[S]] struct {
 	// convergence times.
 	CheckEvery uint64
 
-	hooks        []Hook[S]
-	observers    []Observer[S]
-	observeEvery uint64
+	hooks     []Hook[S]
+	observers []observer[S]
 
 	seen map[S]struct{}
 	step uint64
+}
+
+// observer pairs an Observer with its own sampling interval.
+type observer[S comparable] struct {
+	fn    Observer[S]
+	every uint64
 }
 
 // NewRunner creates a runner for proto using the given pair source
@@ -107,16 +116,20 @@ func (r *Runner[S, P]) Reset() {
 func (r *Runner[S, P]) AddHook(h Hook[S]) { r.hooks = append(r.hooks, h) }
 
 // AddObserver registers a population observer invoked every interval
-// interactions (and once more at the end of Run).
+// interactions (and once more at the end of Run). Each observer fires at
+// its own interval.
 func (r *Runner[S, P]) AddObserver(o Observer[S], interval uint64) {
 	if interval == 0 {
 		interval = 1
 	}
-	r.observers = append(r.observers, o)
-	if r.observeEvery == 0 || interval < r.observeEvery {
-		r.observeEvery = interval
-	}
+	r.observers = append(r.observers, observer[S]{fn: o, every: interval})
 }
+
+// SetBudget implements Engine: it sets MaxInteractions.
+func (r *Runner[S, P]) SetBudget(max uint64) { r.MaxInteractions = max }
+
+// SetTrackStates implements StateTracker: it sets TrackStates.
+func (r *Runner[S, P]) SetTrackStates(on bool) { r.TrackStates = on }
 
 // Population returns the live population slice. Callers must treat it as
 // read-only.
@@ -134,13 +147,16 @@ func (r *Runner[S, P]) Leaders() int { return r.leaders }
 
 // DefaultBudget returns the default interaction budget for population size
 // n: generous compared to the paper's O(n log^2 n) whp bound, plus a term
-// covering the slow-backup regime at small n.
+// covering the slow-backup regime at small n. The n·log²n·64 product is
+// computed with saturating arithmetic so that the very large populations
+// reachable by the counts backend cannot silently overflow uint64 into a
+// tiny (or zero) budget.
 func DefaultBudget(n int) uint64 {
 	log2 := 1
 	for v := n; v > 1; v >>= 1 {
 		log2++
 	}
-	b := uint64(n) * uint64(log2) * uint64(log2) * 64
+	b := satMul(satMul(uint64(n), uint64(log2)*uint64(log2)), 64)
 	if slow := uint64(n) * uint64(n) * 8; b < slow && n <= 1<<14 {
 		// For small-to-moderate populations the Θ(n²)-interaction slow
 		// protocols (and the slow-backup regime of the fast ones) may
@@ -148,6 +164,15 @@ func DefaultBudget(n int) uint64 {
 		b = slow
 	}
 	return b
+}
+
+// satMul multiplies two uint64s, saturating at MaxUint64 on overflow.
+func satMul(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	if hi != 0 {
+		return math.MaxUint64
+	}
+	return lo
 }
 
 // Step executes exactly one interaction and returns whether the
@@ -218,9 +243,9 @@ func (r *Runner[S, P]) Run() Result {
 		if changed && (check == 1 || r.step%check == 0) {
 			converged = r.proto.Stable(r.counts)
 		}
-		if r.observeEvery != 0 && r.step%r.observeEvery == 0 {
-			for _, o := range r.observers {
-				o(r.step, r.pop)
+		for _, o := range r.observers {
+			if r.step%o.every == 0 {
+				o.fn(r.step, r.pop)
 			}
 		}
 	}
@@ -230,7 +255,7 @@ func (r *Runner[S, P]) Run() Result {
 		converged = r.proto.Stable(r.counts)
 	}
 	for _, o := range r.observers {
-		o(r.step, r.pop)
+		o.fn(r.step, r.pop)
 	}
 	return r.result(converged)
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math"
 	"testing"
 
 	"popelect/internal/rng"
@@ -254,5 +255,68 @@ func TestResultString(t *testing.T) {
 	r.Converged = false
 	if r.String() == "" {
 		t.Fatal("timeout rendering broken")
+	}
+}
+
+// TestObserversFireAtTheirOwnIntervals is the regression test for the
+// AddObserver interval bug: every observer used to fire at the globally
+// smallest registered interval instead of its own.
+func TestObserversFireAtTheirOwnIntervals(t *testing.T) {
+	r := NewRunner[uint32, duel](duel{64}, rng.New(2))
+	r.MaxInteractions = 1000
+	var fast, slow []uint64
+	r.AddObserver(func(step uint64, pop []uint32) { fast = append(fast, step) }, 10)
+	r.AddObserver(func(step uint64, pop []uint32) { slow = append(slow, step) }, 250)
+	res := r.Run()
+	end := res.Interactions
+
+	// Every observer also fires once at the end of Run, whatever the step.
+	wantFast := int(end/10) + 1
+	wantSlow := int(end/250) + 1
+	if len(fast) != wantFast {
+		t.Fatalf("fast observer fired %d times over %d steps, want %d", len(fast), end, wantFast)
+	}
+	if len(slow) != wantSlow {
+		t.Fatalf("slow observer fired %d times over %d steps, want %d (interval bug: inherited the smaller interval)",
+			len(slow), end, wantSlow)
+	}
+	for _, s := range slow[:len(slow)-1] {
+		if s%250 != 0 {
+			t.Fatalf("slow observer fired at step %d, not a multiple of its interval", s)
+		}
+	}
+}
+
+// TestDefaultBudgetOverflow is the regression test for uint64 overflow in
+// the n·log²n·64 product at very large populations: the budget must
+// saturate, never wrap around to a small (or zero) value.
+func TestDefaultBudgetOverflow(t *testing.T) {
+	if got := DefaultBudget(math.MaxInt64); got != math.MaxUint64 {
+		t.Fatalf("DefaultBudget(MaxInt64) = %d, want saturation at MaxUint64", got)
+	}
+	// Monotonicity across the sizes the counts backend makes reachable.
+	prev := uint64(0)
+	for _, n := range []int{1 << 20, 1 << 30, 1 << 40, 1 << 50, 1 << 55, 1 << 62} {
+		b := DefaultBudget(n)
+		if b < prev {
+			t.Fatalf("DefaultBudget(%d) = %d < DefaultBudget of a smaller population (%d): overflow", n, b, prev)
+		}
+		if b <= uint64(n) {
+			t.Fatalf("DefaultBudget(%d) = %d is below the population size", n, b)
+		}
+		prev = b
+	}
+	// Sanity at a size the counts backend actually runs.
+	if b := DefaultBudget(1_000_000_000); b < 900_000_000_000 {
+		t.Fatalf("DefaultBudget(1e9) = %d suspiciously small", b)
+	}
+}
+
+func TestSatMul(t *testing.T) {
+	if got := satMul(1<<32, 1<<31); got != 1<<63 {
+		t.Fatalf("satMul(2^32, 2^31) = %d", got)
+	}
+	if got := satMul(1<<33, 1<<31); got != math.MaxUint64 {
+		t.Fatalf("satMul overflow = %d, want MaxUint64", got)
 	}
 }

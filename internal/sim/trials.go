@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -21,8 +22,20 @@ type TrialConfig struct {
 	// MaxInteractions bounds each run; 0 means DefaultBudget(n).
 	MaxInteractions uint64
 
-	// TrackStates enables distinct-state counting in each run.
+	// TrackStates enables distinct-state counting in each run. (The
+	// counts backend tracks distinct states inherently and always
+	// reports them.)
 	TrackStates bool
+
+	// Backend selects the simulation engine: BackendDense, BackendCounts
+	// or BackendAuto. Empty means BackendDense, the historical default.
+	// BackendCounts panics if the protocol does not implement Enumerable;
+	// BackendAuto falls back to dense in that case.
+	Backend Backend
+
+	// BatchLen overrides the counts backend's batch length; see
+	// CountsEngine.BatchLen. Ignored by the dense backend.
+	BatchLen uint64
 }
 
 // RunTrials executes cfg.Trials independent runs of the protocols produced
@@ -31,10 +44,23 @@ type TrialConfig struct {
 //
 // Trials are distributed over a bounded worker pool; each trial gets its own
 // deterministic PRNG stream, so results are reproducible regardless of the
-// number of workers.
+// number of workers. RunTrials panics if cfg.Backend is BackendCounts and
+// the protocol does not implement Enumerable.
 func RunTrials[S comparable, P Protocol[S]](factory func(trial int) P, cfg TrialConfig) []Result {
 	if cfg.Trials <= 0 {
 		return nil
+	}
+	// Validate the backend on the caller's goroutine so misconfiguration
+	// panics here rather than killing a worker.
+	switch cfg.Backend {
+	case "", BackendDense, BackendAuto:
+	case BackendCounts:
+		var zero P
+		if _, ok := any(zero).(Enumerable[S]); !ok {
+			panic(fmt.Sprintf("sim: backend counts requires protocol type %T to implement Enumerable (finite state-space enumeration)", zero))
+		}
+	default:
+		panic(fmt.Sprintf("sim: unknown backend %q", cfg.Backend))
 	}
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -52,10 +78,8 @@ func RunTrials[S comparable, P Protocol[S]](factory func(trial int) P, cfg Trial
 			defer wg.Done()
 			for t := range jobs {
 				src := rng.NewStream(cfg.Seed, uint64(t))
-				r := NewRunner[S, P](factory(t), src)
-				r.MaxInteractions = cfg.MaxInteractions
-				r.TrackStates = cfg.TrackStates
-				res := r.Run()
+				eng := newTrialEngine[S, P](factory(t), src, cfg)
+				res := eng.Run()
 				res.Seed = uint64(t)
 				results[t] = res
 			}
@@ -67,6 +91,27 @@ func RunTrials[S comparable, P Protocol[S]](factory func(trial int) P, cfg Trial
 	close(jobs)
 	wg.Wait()
 	return results
+}
+
+// newTrialEngine builds one trial's engine from the config. The historical
+// default (empty Backend) is dense.
+func newTrialEngine[S comparable, P Protocol[S]](proto P, src *rng.Source, cfg TrialConfig) Engine {
+	backend := cfg.Backend
+	if backend == "" {
+		backend = BackendDense
+	}
+	eng, err := NewEngine[S, P](proto, src, backend)
+	if err != nil {
+		panic(err)
+	}
+	eng.SetBudget(cfg.MaxInteractions)
+	switch e := eng.(type) {
+	case *Runner[S, P]:
+		e.TrackStates = cfg.TrackStates
+	case *CountsEngine[S]:
+		e.BatchLen = cfg.BatchLen
+	}
+	return eng
 }
 
 // ParallelTimes extracts the parallel-time measure from a batch of results.

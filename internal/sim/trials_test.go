@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"reflect"
+	"runtime"
 	"testing"
 )
 
@@ -92,6 +94,66 @@ func TestRunTrialsTrackStates(t *testing.T) {
 	for _, r := range rs {
 		if r.DistinctStates != 2 {
 			t.Fatalf("distinct states = %d", r.DistinctStates)
+		}
+	}
+}
+
+// TestRunTrialsByteIdenticalAcrossWorkerCounts pins full determinism: the
+// same seed must yield deeply equal []Result whether trials run on one
+// worker, four, or GOMAXPROCS.
+func TestRunTrialsByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	for _, backend := range []Backend{BackendDense, BackendCounts} {
+		mk := func(int) enumDuel { return enumDuel{duel{300}} }
+		base := RunTrials[uint32, enumDuel](mk, TrialConfig{
+			Trials: 12, Seed: 99, Workers: 1, Backend: backend, TrackStates: true,
+		})
+		for _, workers := range []int{4, runtime.GOMAXPROCS(0)} {
+			got := RunTrials[uint32, enumDuel](mk, TrialConfig{
+				Trials: 12, Seed: 99, Workers: workers, Backend: backend, TrackStates: true,
+			})
+			if !reflect.DeepEqual(base, got) {
+				t.Fatalf("backend %s: results differ between 1 and %d workers:\n%+v\nvs\n%+v",
+					backend, workers, base, got)
+			}
+		}
+	}
+}
+
+func TestRunTrialsCountsBackend(t *testing.T) {
+	rs := RunTrials[uint32, enumDuel](func(int) enumDuel { return enumDuel{duel{200}} },
+		TrialConfig{Trials: 6, Seed: 3, Backend: BackendCounts})
+	if !AllConverged(rs) {
+		t.Fatal("counts trials did not converge")
+	}
+	for i, r := range rs {
+		if r.Leaders != 1 || r.LeaderID != -1 {
+			t.Fatalf("trial %d: %+v", i, r)
+		}
+		if r.DistinctStates != 2 {
+			t.Fatalf("trial %d: counts backend must report distinct states, got %d", i, r.DistinctStates)
+		}
+	}
+}
+
+func TestRunTrialsCountsPanicsWithoutEnumerable(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BackendCounts with a non-Enumerable protocol must panic")
+		}
+	}()
+	RunTrials[uint32, duel](func(int) duel { return duel{50} },
+		TrialConfig{Trials: 1, Seed: 1, Backend: BackendCounts})
+}
+
+func TestRunTrialsAutoFallsBackToDense(t *testing.T) {
+	rs := RunTrials[uint32, duel](func(int) duel { return duel{50} },
+		TrialConfig{Trials: 2, Seed: 1, Backend: BackendAuto})
+	if !AllConverged(rs) {
+		t.Fatal("auto trials did not converge")
+	}
+	for _, r := range rs {
+		if r.LeaderID < 0 {
+			t.Fatal("auto on a small non-enumerable protocol must use the dense backend (agent identities)")
 		}
 	}
 }

@@ -155,3 +155,53 @@ func Uint64s(xs []uint64) []float64 {
 	}
 	return out
 }
+
+// KolmogorovSmirnov returns the two-sample Kolmogorov–Smirnov statistic
+// D = sup_x |F_a(x) − F_b(x)| between the empirical distribution functions
+// of the two samples. Both samples must be non-empty; the inputs are not
+// modified.
+func KolmogorovSmirnov(a, b []float64) float64 {
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+	var d float64
+	i, j := 0, 0
+	for i < len(as) && j < len(bs) {
+		// Advance past ties on both sides together so that D is
+		// evaluated only at points where both EDFs have fully jumped.
+		x := math.Min(as[i], bs[j])
+		for i < len(as) && as[i] == x {
+			i++
+		}
+		for j < len(bs) && bs[j] == x {
+			j++
+		}
+		diff := math.Abs(float64(i)/float64(len(as)) - float64(j)/float64(len(bs)))
+		if diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+// KSCritical returns the two-sample KS rejection threshold
+// c(α)·sqrt((m+n)/(m·n)) for sample sizes m and n, where c is the
+// asymptotic inverse of the Kolmogorov distribution. Supported α levels:
+// 0.1, 0.05, 0.01, 0.001 (other values panic).
+func KSCritical(m, n int, alpha float64) float64 {
+	var c float64
+	switch alpha {
+	case 0.1:
+		c = 1.22385
+	case 0.05:
+		c = 1.35810
+	case 0.01:
+		c = 1.62762
+	case 0.001:
+		c = 1.94947
+	default:
+		panic(fmt.Sprintf("stats: unsupported KS alpha %v", alpha))
+	}
+	return c * math.Sqrt(float64(m+n)/float64(m*n))
+}

@@ -163,3 +163,49 @@ func TestQuickQuantileMonotone(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestKolmogorovSmirnovIdentical(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	if d := KolmogorovSmirnov(a, a); d != 0 {
+		t.Fatalf("KS of identical samples = %v", d)
+	}
+}
+
+func TestKolmogorovSmirnovDisjoint(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{10, 11, 12}
+	if d := KolmogorovSmirnov(a, b); d != 1 {
+		t.Fatalf("KS of disjoint samples = %v, want 1", d)
+	}
+}
+
+func TestKolmogorovSmirnovShifted(t *testing.T) {
+	// Two interleaved uniform grids, one shifted by half the sample: the
+	// EDF gap is the shift fraction.
+	var a, b []float64
+	for i := 0; i < 100; i++ {
+		a = append(a, float64(i))
+		b = append(b, float64(i)+30)
+	}
+	d := KolmogorovSmirnov(a, b)
+	if math.Abs(d-0.3) > 1e-9 {
+		t.Fatalf("KS = %v, want 0.3", d)
+	}
+}
+
+func TestKSCritical(t *testing.T) {
+	got := KSCritical(100, 100, 0.05)
+	want := 1.3581 * math.Sqrt(0.02)
+	if math.Abs(got-want) > 1e-4 {
+		t.Fatalf("KSCritical = %v, want %v", got, want)
+	}
+	if KSCritical(50, 50, 0.001) <= KSCritical(50, 50, 0.05) {
+		t.Fatal("stricter alpha must give a larger threshold")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unsupported alpha must panic")
+		}
+	}()
+	KSCritical(10, 10, 0.42)
+}

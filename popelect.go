@@ -54,7 +54,8 @@ func Algorithms() []Algorithm { return []Algorithm{GSU19, GS18, Lottery, Slow} }
 
 // Result reports one election.
 type Result struct {
-	// LeaderID is the index of the unique elected agent.
+	// LeaderID is the index of the unique elected agent. It is -1 under
+	// the counts backend, where agents are anonymous (see WithBackend).
 	LeaderID int
 	// Interactions is the number of scheduler steps until stabilization.
 	Interactions uint64
@@ -72,6 +73,7 @@ type options struct {
 	phi         int
 	psi         int
 	trackStates bool
+	backend     string
 }
 
 // Option configures an election.
@@ -94,6 +96,12 @@ func WithPsi(psi int) Option { return func(o *options) { o.psi = psi } }
 
 // WithStateTracking records the number of distinct states used.
 func WithStateTracking() Option { return func(o *options) { o.trackStates = true } }
+
+// WithBackend selects the simulation backend: "dense" (per-agent array,
+// exact, the default), "counts" (state-census batch engine for populations
+// of 10⁸–10⁹ agents; Result.LeaderID is -1 because agents are anonymous),
+// or "auto" (counts for large enumerable protocols, dense otherwise).
+func WithBackend(backend string) Option { return func(o *options) { o.backend = backend } }
 
 // Elect runs the paper's protocol on a population of n agents and returns
 // the elected leader. It is deterministic given WithSeed.
@@ -159,15 +167,27 @@ func ElectWith(alg Algorithm, n int, opts ...Option) (Result, error) {
 }
 
 func run[S comparable, P sim.Protocol[S]](pr P, o options) (Result, error) {
-	r := sim.NewRunner[S, P](pr, rng.New(o.seed))
-	r.MaxInteractions = o.budget
-	r.TrackStates = o.trackStates
-	res := r.Run()
+	backend := sim.BackendDense
+	if o.backend != "" {
+		var err error
+		if backend, err = sim.ParseBackend(o.backend); err != nil {
+			return Result{}, fmt.Errorf("popelect: %w", err)
+		}
+	}
+	eng, err := sim.NewEngine[S, P](pr, rng.New(o.seed), backend)
+	if err != nil {
+		return Result{}, fmt.Errorf("popelect: %w", err)
+	}
+	eng.SetBudget(o.budget)
+	if st, ok := eng.(sim.StateTracker); ok {
+		st.SetTrackStates(o.trackStates)
+	}
+	res := eng.Run()
 	if !res.Converged {
 		return Result{}, fmt.Errorf("popelect: %s did not stabilize within %d interactions",
 			pr.Name(), res.Interactions)
 	}
-	if res.Leaders != 1 || res.LeaderID < 0 {
+	if res.Leaders != 1 {
 		return Result{}, fmt.Errorf("popelect: %s stabilized with %d leaders", pr.Name(), res.Leaders)
 	}
 	return Result{

@@ -98,3 +98,25 @@ func TestElectStateTracking(t *testing.T) {
 		t.Fatalf("GSU19 distinct states implausibly low: %d", res.DistinctStates)
 	}
 }
+
+func TestElectWithCountsBackend(t *testing.T) {
+	res, err := ElectWith(GS18, 2000, WithSeed(3), WithBackend("counts"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LeaderID != -1 {
+		t.Fatalf("counts backend must report an anonymous leader, got id %d", res.LeaderID)
+	}
+	if res.Interactions == 0 || res.ParallelTime <= 0 {
+		t.Fatalf("%+v", res)
+	}
+	if res.DistinctStates == 0 {
+		t.Fatal("counts backend tracks distinct states inherently")
+	}
+	if _, err := ElectWith(GS18, 100, WithBackend("warp")); err == nil {
+		t.Fatal("unknown backend must error")
+	}
+	if _, err := ElectWith(Lottery, 100, WithBackend("counts")); err == nil {
+		t.Fatal("lottery is dense-only; counts must error")
+	}
+}
