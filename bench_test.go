@@ -342,6 +342,61 @@ func BenchmarkBackendCountsMillion(b *testing.B) {
 	benchBackend(b, 1<<20, sim.BackendCounts, 0)
 }
 
+// --- Probe overhead on the counts backend ---
+
+// benchCountsProbe runs one full GS18 election per iteration on the counts
+// backend with an optional census probe at the given interval, reporting
+// interaction throughput. Comparing the probe-free baseline against the
+// probed runs quantifies what probing costs: the probe body is O(occupied
+// states) per fire, and any interval that does not divide the batch length
+// forces batch splits at probe boundaries (see CountsEngine.AddProbe).
+func benchCountsProbe(b *testing.B, n int, every uint64) {
+	b.Helper()
+	pr := gs18.MustNew(gs18.DefaultParams(n))
+	var interactions uint64
+	var sink int
+	for i := 0; i < b.N; i++ {
+		eng, err := sim.NewEngine[uint32, *gs18.Protocol](pr, rng.New(uint64(i)+1), sim.BackendCounts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if every > 0 {
+			if err := sim.AddProbe[uint32](eng, func(step uint64, v sim.CensusView[uint32]) {
+				sink += v.Leaders() + v.Occupied()
+			}, every); err != nil {
+				b.Fatal(err)
+			}
+		}
+		res := eng.Run()
+		if !res.Converged || res.Leaders != 1 {
+			b.Fatalf("iteration %d: %+v", i, res)
+		}
+		interactions += res.Interactions
+	}
+	_ = sink
+	b.ReportMetric(float64(interactions)/b.Elapsed().Seconds()/1e6, "Minteractions/s")
+}
+
+// The three cadences of the probe-overhead contract: no probe (baseline),
+// one probe per parallel-time unit (interval n — the scalefigures cadence,
+// which the acceptance bound holds at), and a dense-observer-style fine
+// cadence (interval n/64, forcing every default n/8 batch to split 8-fold).
+func BenchmarkCountsProbeFree(b *testing.B)      { benchCountsProbe(b, 1<<20, 0) }
+func BenchmarkCountsProbeIntervalN(b *testing.B) { benchCountsProbe(b, 1<<20, 1<<20) }
+func BenchmarkCountsProbeDenseCadence(b *testing.B) {
+	benchCountsProbe(b, 1<<20, 1<<(20-6))
+}
+
+// The same pair at n = 10⁸ — the scale the acceptance criterion speaks
+// about (probed runtime at interval n within 2× of probe-free). Each
+// iteration is a full stabilization (~15 s); run with -benchtime=1x.
+func BenchmarkCountsProbeFreeHundredMillion(b *testing.B) {
+	benchCountsProbe(b, 100_000_000, 0)
+}
+func BenchmarkCountsProbeIntervalNHundredMillion(b *testing.B) {
+	benchCountsProbe(b, 100_000_000, 100_000_000)
+}
+
 // --- rng samplers feeding the counts backend's batch chains ---
 
 func BenchmarkBinomial(b *testing.B) {

@@ -7,6 +7,13 @@
 // With -v it prints a census timeline: the sub-population sizes (coins,
 // inhibitors, active/passive/withdrawn candidates) sampled over the run,
 // which makes the three epochs of the paper visible in the terminal.
+// -v is dense-only (it reads agent states); -probe-interval records a
+// backend-agnostic census timeline (leader count, occupied states) through
+// the probe pipeline instead — it works on the counts backend at n = 10⁸
+// too — and -series exports it as CSV:
+//
+//	leaderelect -n 100000000 -alg gs18 -backend counts \
+//	    -probe-interval 100000000 -series gs18_1e8.csv
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"popelect/internal/core"
 	"popelect/internal/rng"
 	"popelect/internal/sim"
+	"popelect/internal/stats"
 )
 
 func main() {
@@ -32,11 +40,23 @@ func main() {
 		trials  = flag.Int("trials", 1, "number of independent runs")
 		backend = flag.String("backend", "dense", "simulation backend: dense, counts or auto (counts scales to n=10⁸–10⁹ but reports no leader agent id)")
 		verbose = flag.Bool("v", false, "print a census timeline (gsu19 only; forces the dense backend)")
+		probe   = flag.Uint64("probe-interval", 0, "record a census sample (leaders, occupied states) every N interactions; works on every backend")
+		series  = flag.String("series", "", "write the recorded census timeline as CSV to this path (requires -probe-interval)")
 	)
 	flag.Parse()
 
 	if _, err := sim.ParseBackend(*backend); err != nil {
 		fmt.Fprintln(os.Stderr, "leaderelect:", err)
+		os.Exit(2)
+	}
+	if *series != "" && *probe == 0 {
+		fmt.Fprintln(os.Stderr, "leaderelect: -series requires -probe-interval")
+		os.Exit(2)
+	}
+	if *verbose && (*probe > 0 || *series != "") {
+		// The verbose path prints its own dense-only timeline and would
+		// silently drop the probe flags; make the conflict explicit.
+		fmt.Fprintln(os.Stderr, "leaderelect: -v and -probe-interval/-series are mutually exclusive")
 		os.Exit(2)
 	}
 
@@ -59,10 +79,27 @@ func main() {
 		if *psi != 0 {
 			opts = append(opts, popelect.WithPsi(*psi))
 		}
+		if *probe > 0 {
+			opts = append(opts, popelect.WithCensusTimeline(*probe))
+		}
 		res, err := popelect.ElectWith(popelect.Algorithm(*alg), *n, opts...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "leaderelect:", err)
 			os.Exit(1)
+		}
+		if len(res.Timeline) > 0 {
+			printTimeline(res.Timeline, *n)
+			if *series != "" {
+				path := *series
+				if *trials > 1 {
+					path = fmt.Sprintf("%s.trial%d", path, t)
+				}
+				if err := writeTimelineCSV(path, res.Timeline); err != nil {
+					fmt.Fprintln(os.Stderr, "leaderelect:", err)
+					os.Exit(1)
+				}
+				fmt.Printf("census series written to %s\n", path)
+			}
 		}
 		if res.LeaderID >= 0 {
 			fmt.Printf("trial %d: leader = agent %d after %d interactions (parallel time %.1f)\n",
@@ -73,6 +110,25 @@ func main() {
 				t, res.Interactions, res.ParallelTime)
 		}
 	}
+}
+
+// printTimeline renders a recorded census timeline as a table.
+func printTimeline(tl []popelect.CensusPoint, n int) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "par.time\tleaders\toccupied states")
+	for _, p := range tl {
+		fmt.Fprintf(w, "%.1f\t%d\t%d\n", float64(p.Step)/float64(n), p.Leaders, p.States)
+	}
+	w.Flush()
+}
+
+// writeTimelineCSV exports a timeline through the stats series layer.
+func writeTimelineCSV(path string, tl []popelect.CensusPoint) error {
+	col := stats.NewCollector(0, "leaders", "occupied_states")
+	for _, p := range tl {
+		col.Add(p.Step, float64(p.Leaders), float64(p.States))
+	}
+	return stats.WriteSeriesCSVFile(path, col.Series...)
 }
 
 func runVerbose(n int, seed uint64, gamma, phi, psi int) error {

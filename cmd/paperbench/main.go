@@ -8,6 +8,8 @@
 //	paperbench -exp table1,fig3        # selected experiments
 //	paperbench -sizes 1024,4096 -trials 5 -seed 1
 //	paperbench -list                   # list experiment ids
+//	paperbench -exp scalefigures -backend counts -sizes 100000000 \
+//	    -series-dir series             # census trajectories at n=10⁸ (CSV)
 //
 // The default scale matches EXPERIMENTS.md. Everything runs single-machine;
 // trials parallelize over cores.
@@ -34,6 +36,8 @@ func main() {
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		smoke   = flag.Bool("smoke", false, "tiny configuration for a quick look")
 		backend = flag.String("backend", "dense", "simulation backend for trial-based experiments: dense, counts or auto")
+		probe   = flag.Uint64("probe-interval", 0, "census-probe cadence for trajectory experiments, in interactions (0 = per-experiment default)")
+		sdir    = flag.String("series-dir", "", "directory where trajectory experiments (scalefigures) write CSV time series (empty = no files)")
 	)
 	flag.Parse()
 
@@ -71,6 +75,8 @@ func main() {
 		os.Exit(2)
 	}
 	cfg.Backend = be
+	cfg.ProbeInterval = *probe
+	cfg.SeriesDir = *sdir
 
 	var ids []string
 	if *exp == "all" {

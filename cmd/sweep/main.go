@@ -9,6 +9,7 @@
 //	sweep -what gamma -n 4096 -trials 5
 //	sweep -what phi   -n 16384
 //	sweep -what psi   -n 16384
+//	sweep -what gamma -series-dir series   # + mean leader-count trajectory CSV per value
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
 	"text/tabwriter"
 
 	"popelect/internal/core"
@@ -30,6 +32,8 @@ func main() {
 		trials  = flag.Int("trials", 5, "trials per setting")
 		seed    = flag.Uint64("seed", 1, "base seed")
 		backend = flag.String("backend", "dense", "simulation backend: dense, counts or auto")
+		probe   = flag.Uint64("probe-interval", 0, "census-probe cadence for trajectory recording (0 = n/4)")
+		sdir    = flag.String("series-dir", "", "write a mean leader-count trajectory CSV per swept value into this directory")
 	)
 	flag.Parse()
 
@@ -56,6 +60,14 @@ func main() {
 		os.Exit(2)
 	}
 
+	every := *probe
+	if every == 0 {
+		every = uint64(*n) / 4
+		if every == 0 {
+			every = 1
+		}
+	}
+
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(w, "%s\tconverged\tpar.time mean\tp90\tmax\tt/(ln·lnln)\n", *what)
 	lnn := math.Log(float64(*n))
@@ -67,8 +79,38 @@ func main() {
 			fmt.Fprintf(w, "%d\tinvalid: %v\t\t\t\t\n", v, err)
 			continue
 		}
-		rs := sim.RunTrials[core.State, *core.Protocol](func(int) *core.Protocol { return pr },
-			sim.TrialConfig{Trials: *trials, Seed: *seed + uint64(v), Backend: be})
+		// When trajectories are requested, record a per-trial leader-count
+		// series through the probe pipeline and aggregate across trials.
+		var probes []sim.TrialProbe[core.State]
+		perTrial := make([]*stats.Series, *trials)
+		if *sdir != "" {
+			for i := range perTrial {
+				perTrial[i] = stats.NewSeries("leaders", 0)
+			}
+			probes = append(probes, sim.TrialProbe[core.State]{
+				Every: every,
+				Make: func(trial int) sim.Probe[core.State] {
+					return func(step uint64, cv sim.CensusView[core.State]) {
+						perTrial[trial].Add(step, float64(cv.Leaders()))
+					}
+				},
+			})
+		}
+		rs, err := sim.RunTrialsProbed[core.State, *core.Protocol](func(int) *core.Protocol { return pr },
+			sim.TrialConfig{Trials: *trials, Seed: *seed + uint64(v), Backend: be}, probes...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		if *sdir != "" {
+			// Merge the per-trial series into one mean/min/max trajectory.
+			g := stats.AggregateOnGrid(perTrial, 256)
+			path := filepath.Join(*sdir, fmt.Sprintf("sweep_%s%d_leaders.csv", *what, v))
+			if err := g.WriteCSVFile(path); err != nil {
+				fmt.Fprintln(os.Stderr, "sweep:", err)
+				os.Exit(1)
+			}
+		}
 		times := sim.ParallelTimes(rs)
 		fmt.Fprintf(w, "%d\t%d/%d\t%.0f\t%.0f\t%.0f\t%.1f\n",
 			v, sim.ConvergedCount(rs), len(rs),
@@ -76,4 +118,7 @@ func main() {
 			stats.Mean(times)/(lnn*math.Log(lnn)))
 	}
 	w.Flush()
+	if *sdir != "" {
+		fmt.Printf("\nmean leader-count trajectories (per swept value) written to %s/\n", *sdir)
+	}
 }

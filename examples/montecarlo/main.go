@@ -23,10 +23,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rs := sim.RunTrials[core.State, *core.Protocol](
+	rs, err := sim.RunTrials[core.State, *core.Protocol](
 		func(int) *core.Protocol { return pr },
 		sim.TrialConfig{Trials: trials, Seed: 1234},
 	)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if !sim.AllConverged(rs) {
 		log.Fatalf("only %d/%d trials converged", sim.ConvergedCount(rs), trials)
 	}

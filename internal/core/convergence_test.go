@@ -7,6 +7,7 @@ import (
 	"popelect/internal/junta"
 	"popelect/internal/rng"
 	"popelect/internal/sim"
+	"popelect/internal/simtest"
 	"popelect/internal/stats"
 )
 
@@ -16,8 +17,8 @@ func TestAlwaysElectsOneLeader(t *testing.T) {
 	sizes := []int{2, 3, 4, 5, 8, 16, 33, 64, 100}
 	for _, n := range sizes {
 		pr := MustNew(DefaultParams(n))
-		rs := sim.RunTrials[State, *Protocol](func(int) *Protocol { return pr },
-			sim.TrialConfig{Trials: 20, Seed: uint64(n) * 17})
+		rs := simtest.MustTrials(t)(sim.RunTrials[State, *Protocol](func(int) *Protocol { return pr },
+			sim.TrialConfig{Trials: 20, Seed: uint64(n) * 17}))
 		for i, res := range rs {
 			if !res.Converged {
 				t.Fatalf("n=%d trial %d did not converge: %+v", n, i, res)
@@ -36,8 +37,8 @@ func TestAblationsStillElectOneLeader(t *testing.T) {
 		{N: 128, Gamma: 36, Phi: 1, Psi: 4, NoFastElim: true, NoDrag: true},
 	} {
 		pr := MustNew(p)
-		rs := sim.RunTrials[State, *Protocol](func(int) *Protocol { return pr },
-			sim.TrialConfig{Trials: 10, Seed: 99})
+		rs := simtest.MustTrials(t)(sim.RunTrials[State, *Protocol](func(int) *Protocol { return pr },
+			sim.TrialConfig{Trials: 10, Seed: 99}))
 		for i, res := range rs {
 			if !res.Converged || res.Leaders != 1 {
 				t.Fatalf("%s trial %d: %+v", pr.Name(), i, res)
@@ -152,8 +153,8 @@ func TestConvergenceScalesSubquadratically(t *testing.T) {
 	}
 	mean := func(n int) float64 {
 		pr := MustNew(DefaultParams(n))
-		rs := sim.RunTrials[State, *Protocol](func(int) *Protocol { return pr },
-			sim.TrialConfig{Trials: 5, Seed: uint64(n)})
+		rs := simtest.MustTrials(t)(sim.RunTrials[State, *Protocol](func(int) *Protocol { return pr },
+			sim.TrialConfig{Trials: 5, Seed: uint64(n)}))
 		if !sim.AllConverged(rs) {
 			t.Fatalf("n=%d: not all converged", n)
 		}

@@ -6,6 +6,7 @@ import (
 
 	"popelect/internal/rng"
 	"popelect/internal/sim"
+	"popelect/internal/simtest"
 	"popelect/internal/stats"
 )
 
@@ -72,10 +73,10 @@ func TestCompletionScaling(t *testing.T) {
 	var ratios []float64
 	for _, n := range []int{1 << 10, 1 << 12, 1 << 14} {
 		cfg := sim.TrialConfig{Trials: 10, Seed: uint64(n), Workers: 0}
-		rs := sim.RunTrials[uint32, *Protocol](func(int) *Protocol {
+		rs := simtest.MustTrials(t)(sim.RunTrials[uint32, *Protocol](func(int) *Protocol {
 			p, _ := New(n, 1)
 			return p
-		}, cfg)
+		}, cfg))
 		if !sim.AllConverged(rs) {
 			t.Fatalf("n=%d: not all trials converged", n)
 		}
@@ -96,10 +97,10 @@ func TestCompletionScaling(t *testing.T) {
 func TestMoreSourcesFaster(t *testing.T) {
 	n := 1 << 12
 	mean := func(k int) float64 {
-		rs := sim.RunTrials[uint32, *Protocol](func(int) *Protocol {
+		rs := simtest.MustTrials(t)(sim.RunTrials[uint32, *Protocol](func(int) *Protocol {
 			p, _ := New(n, k)
 			return p
-		}, sim.TrialConfig{Trials: 8, Seed: 77})
+		}, sim.TrialConfig{Trials: 8, Seed: 77}))
 		return stats.Mean(sim.Interactions(rs))
 	}
 	one, many := mean(1), mean(n/4)

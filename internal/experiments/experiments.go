@@ -31,9 +31,21 @@ type Config struct {
 	// Backend selects the simulation engine for experiments that run
 	// whole-protocol trials (empty = dense, the historical default).
 	// BackendAuto lets large-population experiments like "scale" use the
-	// counts batch engine; experiments that need agent identities or
-	// population hooks always run dense.
+	// counts batch engine. All observation goes through census probes, so
+	// every experiment runs on either backend; the phase-clock experiment
+	// (thm32) degrades a counts request to auto because its standalone
+	// clock protocol has no finite state-space enumeration.
 	Backend sim.Backend
+
+	// ProbeInterval overrides the census-probe cadence of trajectory
+	// experiments, in interactions (0 = per-experiment default: n/16 for
+	// the dense-scale figure/lemma experiments, n for scalefigures).
+	ProbeInterval uint64
+
+	// SeriesDir, when nonempty, is the directory where trajectory
+	// experiments (scalefigures) write CSV time-series files. Empty
+	// disables file output; trajectories are still summarized in tables.
+	SeriesDir string
 }
 
 // DefaultConfig returns the configuration used for EXPERIMENTS.md.
@@ -148,6 +160,7 @@ func All() []struct {
 		{"epidemic", Epidemic},
 		{"ablation", Ablation},
 		{"scale", Scale},
+		{"scalefigures", ScaleFigures},
 	}
 }
 
@@ -159,6 +172,46 @@ func Lookup(id string) (Runner, bool) {
 		}
 	}
 	return nil, false
+}
+
+// mustRun unwraps a RunTrials result; experiment configurations are
+// validated upstream (CLI flag parsing), so an error here is a bug.
+func mustRun(rs []sim.Result, err error) []sim.Result {
+	if err != nil {
+		panic(err)
+	}
+	return rs
+}
+
+// mustEngine unwraps a NewEngine result under the same contract.
+func mustEngine(eng sim.Engine, err error) sim.Engine {
+	if err != nil {
+		panic(err)
+	}
+	return eng
+}
+
+// censusOf returns an engine's current census view; both backends expose
+// one over their protocol's state type.
+func censusOf[S comparable](eng sim.Engine) sim.CensusView[S] {
+	v, err := sim.Census[S](eng)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// probeEvery returns the census-probe cadence for population size n:
+// cfg.ProbeInterval if set, else n/16 — fine enough to localize stage
+// transitions, coarse enough that probe work is negligible.
+func probeEvery(cfg Config, n int) uint64 {
+	if cfg.ProbeInterval > 0 {
+		return cfg.ProbeInterval
+	}
+	if e := uint64(n) / 16; e > 0 {
+		return e
+	}
+	return 1
 }
 
 func f0(v float64) string { return fmt.Sprintf("%.0f", v) }

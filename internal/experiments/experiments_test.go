@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -34,7 +36,8 @@ func runAndRender(t *testing.T, id string) string {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "fig1", "fig2", "fig3", "lemma41", "lemma53",
-		"lemma71", "lemma73", "thm32", "thm82", "epidemic", "ablation", "scale"}
+		"lemma71", "lemma73", "thm32", "thm82", "epidemic", "ablation", "scale",
+		"scalefigures"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(all), len(want))
@@ -140,6 +143,50 @@ func TestTable1Experiment(t *testing.T) {
 	for _, proto := range []string{"slow", "lottery", "gs18", "this work"} {
 		if !strings.Contains(out, proto) {
 			t.Fatalf("table1 missing protocol %q:\n%s", proto, out)
+		}
+	}
+}
+
+func TestScaleFiguresExperiment(t *testing.T) {
+	runAndRender(t, "scalefigures")
+}
+
+// TestScaleFiguresWritesCSV pins the trajectory-export contract: with a
+// series directory configured, scalefigures writes one CSV per protocol
+// with the step,leaders,occupied_states columns, ending at one leader.
+func TestScaleFiguresWritesCSV(t *testing.T) {
+	cfg := SmokeConfig()
+	cfg.SeriesDir = t.TempDir()
+	run, ok := Lookup("scalefigures")
+	if !ok {
+		t.Fatal("scalefigures not registered")
+	}
+	run(cfg)
+	matches, err := filepath.Glob(filepath.Join(cfg.SeriesDir, "scalefigures_*.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 2 {
+		t.Fatalf("wrote %d CSVs, want 2 (gs18 + gsu19): %v", len(matches), matches)
+	}
+	for _, m := range matches {
+		data, err := os.ReadFile(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+		if lines[0] != "step,leaders,occupied_states" {
+			t.Fatalf("%s header = %q", m, lines[0])
+		}
+		if len(lines) < 3 {
+			t.Fatalf("%s holds only %d lines", m, len(lines))
+		}
+		if !strings.HasPrefix(lines[1], "0,") {
+			t.Fatalf("%s first sample %q is not the step-0 origin", m, lines[1])
+		}
+		last := strings.Split(lines[len(lines)-1], ",")
+		if len(last) != 3 || last[1] != "1" {
+			t.Fatalf("%s final sample %q does not end at one leader", m, lines[len(lines)-1])
 		}
 	}
 }

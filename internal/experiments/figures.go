@@ -15,25 +15,34 @@ import (
 // runs the protocol to convergence and reports, per coin level ℓ, the
 // measured cumulative population C_ℓ, the idealized square-decay
 // prediction, the Lemma 5.1/5.2 envelope, and the realized coin bias
-// q_ℓ = C_ℓ/n.
+// q_ℓ = C_ℓ/n. The coin census is read through a final-snapshot probe, so
+// the experiment runs on either backend.
 func Figure1(cfg Config) []*Table {
 	n := maxSize(cfg)
 	pr := core.MustNew(core.DefaultParams(n))
 	phi := pr.Params().Phi
 
+	cums := make([][]int, cfg.Trials)
+	rs := mustRun(sim.RunTrialsProbed[core.State, *core.Protocol](
+		func(int) *core.Protocol { return pr },
+		sim.TrialConfig{Trials: cfg.Trials, Seed: cfg.Seed, Workers: cfg.Workers, Backend: cfg.Backend},
+		sim.TrialProbe[core.State]{Make: func(trial int) sim.Probe[core.State] {
+			return func(step uint64, v sim.CensusView[core.State]) {
+				cums[trial] = pr.CumulativeCoinCensusOf(v.VisitStates)
+			}
+		}},
+	))
+
 	perLevel := make([][]float64, phi+1)
 	juntas := make([]float64, 0, cfg.Trials)
-	for trial := 0; trial < cfg.Trials; trial++ {
-		r := sim.NewRunner[core.State, *core.Protocol](pr, rng.NewStream(cfg.Seed, uint64(trial)))
-		res := r.Run()
-		if !res.Converged {
+	for trial, res := range rs {
+		if !res.Converged || cums[trial] == nil {
 			continue
 		}
-		cum := pr.CumulativeCoinCensus(r.Population())
 		for l := 0; l <= phi; l++ {
-			perLevel[l] = append(perLevel[l], float64(cum[l]))
+			perLevel[l] = append(perLevel[l], float64(cums[trial][l]))
 		}
-		juntas = append(juntas, float64(cum[phi]))
+		juntas = append(juntas, float64(cums[trial][phi]))
 	}
 
 	t := &Table{
@@ -57,39 +66,62 @@ func Figure1(cfg Config) []*Table {
 	return []*Table{t}
 }
 
-// stageRecord captures the moment the first candidate enters schedule stage
-// cnt: the census of active candidates at that instant.
+// stageRecord captures the moment the first candidate enters a schedule
+// stage: the census of active candidates at that instant.
 type stageRecord struct {
 	step    uint64
 	actives int64
 }
 
-// runWithStageTracking executes one run recording, for every counter value,
-// the interaction at which the first candidate entered it and the active
-// count at that moment, plus first-attainment times for every drag value.
-func runWithStageTracking(pr *core.Protocol, seed uint64) (map[int]stageRecord, map[int]uint64, sim.Result) {
-	r := sim.NewRunner[core.State, *core.Protocol](pr, rng.New(seed))
-	stages := make(map[int]stageRecord)
-	dragFirst := make(map[int]uint64)
-	r.AddHook(func(step uint64, ri, ii int, oldR, oldI, newR, newI core.State) {
-		if oldR.Role() != core.RoleL || newR.Role() != core.RoleL {
-			return
-		}
-		if newR.Cnt() < oldR.Cnt() {
-			stage := int(newR.Cnt())
-			if _, ok := stages[stage]; !ok {
-				stages[stage] = stageRecord{step: step, actives: r.Counts()[core.ClassActive]}
+// stageTrack accumulates, through a census probe, the interaction at which
+// the first candidate entered each schedule stage (and the active count at
+// that moment), plus first-attainment times for every drag value ≥ 1.
+// Detection happens at probe cadence, so recorded steps overshoot the true
+// entry by at most one probe interval — negligible against the Θ(n log n)
+// stage lengths the schedule produces.
+type stageTrack struct {
+	stages    map[int]stageRecord
+	dragFirst map[int]uint64
+	prevStage int
+	maxDrag   int
+}
+
+// trackStages attaches the stage-tracking probe to eng.
+func trackStages(pr *core.Protocol, eng sim.Engine, every uint64) *stageTrack {
+	st := &stageTrack{
+		stages:    make(map[int]stageRecord),
+		dragFirst: make(map[int]uint64),
+		prevStage: pr.Params().InitialCnt(),
+	}
+	probe := func(step uint64, v sim.CensusView[core.State]) {
+		if min := pr.MinLeaderCntOf(v.VisitStates); min >= 0 && min < st.prevStage {
+			actives := v.Classes()[core.ClassActive]
+			// Stages crossed since the last probe share the detection step.
+			for s := st.prevStage - 1; s >= min; s-- {
+				st.stages[s] = stageRecord{step: step, actives: actives}
 			}
+			st.prevStage = min
 		}
-		if newR.LeaderDrag() > oldR.LeaderDrag() {
-			d := int(newR.LeaderDrag())
-			if _, ok := dragFirst[d]; !ok {
-				dragFirst[d] = step
+		if d := pr.MaxLeaderDragOf(v.VisitStates); d > st.maxDrag {
+			for w := st.maxDrag + 1; w <= d; w++ {
+				st.dragFirst[w] = step
 			}
+			st.maxDrag = d
 		}
-	})
-	res := r.Run()
-	return stages, dragFirst, res
+	}
+	if err := sim.AddProbe[core.State](eng, probe, every); err != nil {
+		panic(err)
+	}
+	return st
+}
+
+// runWithStageTracking executes one run recording stage entries and drag
+// first-attainment times through the probe pipeline.
+func runWithStageTracking(pr *core.Protocol, seed uint64, cfg Config) (map[int]stageRecord, map[int]uint64, sim.Result) {
+	eng := mustEngine(sim.NewEngine[core.State, *core.Protocol](pr, rng.New(seed), cfg.Backend))
+	st := trackStages(pr, eng, probeEvery(cfg, pr.N()))
+	res := eng.Run()
+	return st.stages, st.dragFirst, res
 }
 
 // Figure2 reproduces Figure 2 ("idealized scheme of the fast elimination
@@ -103,7 +135,7 @@ func Figure2(cfg Config) []*Table {
 	// Collect across trials: actives at entry into each stage.
 	perStage := make(map[int][]float64)
 	for trial := 0; trial < cfg.Trials; trial++ {
-		stages, _, res := runWithStageTracking(pr, cfg.Seed+uint64(trial)*7919)
+		stages, _, res := runWithStageTracking(pr, cfg.Seed+uint64(trial)*7919, cfg)
 		if !res.Converged {
 			continue
 		}
@@ -141,6 +173,7 @@ func Figure2(cfg Config) []*Table {
 	}
 	t.AddNote("'actives at entry' into stage cnt = survivors of the coin used during stage cnt+1")
 	t.AddNote("reductions bottom out at the Lemma 6.1 floor ≈ c·log n/q, as in the paper (no heads → void round)")
+	t.AddNote("stage entries detected by census probes every %d interactions", probeEvery(cfg, n))
 	return []*Table{t}
 }
 
@@ -156,37 +189,26 @@ func Figure3(cfg Config) []*Table {
 		// Run to convergence, then keep going: the surviving active
 		// candidate continues flipping level-0 coins and ticking the
 		// drag counter, so T_ℓ is measurable well past drag 1.
-		r := sim.NewRunner[core.State, *core.Protocol](pr, rng.New(cfg.Seed+uint64(trial)*104729))
-		dragFirst := make(map[int]uint64)
-		maxDrag := 0
-		r.AddHook(func(step uint64, ri, ii int, oldR, oldI, newR, newI core.State) {
-			if oldR.Role() == core.RoleL && newR.Role() == core.RoleL &&
-				newR.LeaderDrag() > oldR.LeaderDrag() {
-				dl := int(newR.LeaderDrag())
-				if _, ok := dragFirst[dl]; !ok {
-					dragFirst[dl] = step
-					if dl > maxDrag {
-						maxDrag = dl
-					}
-				}
-			}
-		})
-		res := r.Run()
+		eng := mustEngine(sim.NewEngine[core.State, *core.Protocol](
+			pr, rng.New(cfg.Seed+uint64(trial)*104729), cfg.Backend))
+		st := trackStages(pr, eng, probeEvery(cfg, n))
+		res := eng.Run()
 		if !res.Converged {
 			continue
 		}
 		// Extra budget past convergence: enough for the next two drag
 		// ticks at the current level (T_ℓ ≈ 4^ℓ n ln n each), capped.
+		// Probes keep firing during RunSteps, so st keeps filling in.
 		nln := float64(n) * math.Log(float64(n))
 		psi := pr.Params().Psi
-		for maxDrag < psi-1 {
-			budget := uint64(6 * math.Pow(4, float64(maxDrag+1)) * nln)
+		for st.maxDrag < psi-1 {
+			budget := uint64(6 * math.Pow(4, float64(st.maxDrag+1)) * nln)
 			if budget > uint64(150*nln) {
 				budget = uint64(150 * nln)
 			}
-			before := maxDrag
-			r.RunSteps(budget)
-			if maxDrag == before {
+			before := st.maxDrag
+			eng.RunSteps(budget)
+			if st.maxDrag == before {
 				break // the next tick is out of reach at this scale
 			}
 		}
@@ -194,11 +216,11 @@ func Figure3(cfg Config) []*Table {
 		// creation, so T_0 runs from the final-epoch start, approximated
 		// by first(1)'s predecessor when unavailable.
 		for dl := 1; ; dl++ {
-			cur, ok := dragFirst[dl]
+			cur, ok := st.dragFirst[dl]
 			if !ok {
 				break
 			}
-			prev, ok := dragFirst[dl-1]
+			prev, ok := st.dragFirst[dl-1]
 			if !ok {
 				continue // T_0's start is candidate creation; skip
 			}

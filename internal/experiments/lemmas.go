@@ -12,7 +12,9 @@ import (
 
 // Lemma41 measures the initialisation epoch: the number of agents still
 // uninitiated (role 0 or X) after c·n·ln n interactions, for growing c —
-// Lemma 4.1 predicts O(n/log n) after O(n log n) interactions.
+// Lemma 4.1 predicts O(n/log n) after O(n log n) interactions. Checkpoints
+// are read from the engine's on-demand census view, so the experiment runs
+// on either backend.
 func Lemma41(cfg Config) []*Table {
 	t := &Table{
 		ID:    "lemma41",
@@ -28,19 +30,20 @@ func Lemma41(cfg Config) []*Table {
 		final := 0.0
 		trials := 0
 		for trial := 0; trial < cfg.Trials; trial++ {
-			r := sim.NewRunner[core.State, *core.Protocol](pr, rng.NewStream(cfg.Seed+1, uint64(trial)))
+			eng := mustEngine(sim.NewEngine[core.State, *core.Protocol](
+				pr, rng.NewStream(cfg.Seed+1, uint64(trial)), cfg.Backend))
 			prev := uint64(0)
 			for ci, c := range checkpoints {
 				target := uint64(c * nln)
-				r.RunSteps(target - prev)
+				eng.RunSteps(target - prev)
 				prev = target
-				sums[ci] += float64(pr.UninitiatedCount(r.Population()))
+				sums[ci] += float64(pr.UninitiatedCountOf(censusOf[core.State](eng).VisitStates))
 			}
-			res := r.Run()
+			res := eng.Run()
 			if !res.Converged {
 				continue
 			}
-			final += float64(pr.UninitiatedCount(r.Population()))
+			final += float64(pr.UninitiatedCountOf(censusOf[core.State](eng).VisitStates))
 			trials++
 		}
 		if trials == 0 {
@@ -58,7 +61,8 @@ func Lemma41(cfg Config) []*Table {
 	return []*Table{t}
 }
 
-// Lemma53 measures the junta size C_Φ against the [n^0.45, n^0.77] window.
+// Lemma53 measures the junta size C_Φ against the [n^0.45, n^0.77] window,
+// read per trial through a final-snapshot census probe.
 func Lemma53(cfg Config) []*Table {
 	t := &Table{
 		ID:      "lemma53",
@@ -67,13 +71,21 @@ func Lemma53(cfg Config) []*Table {
 	}
 	for _, n := range cfg.Sizes {
 		pr := core.MustNew(core.DefaultParams(n))
+		juntaAt := make([]float64, cfg.Trials)
+		rs := mustRun(sim.RunTrialsProbed[core.State, *core.Protocol](
+			func(int) *core.Protocol { return pr },
+			sim.TrialConfig{Trials: cfg.Trials, Seed: cfg.Seed + 2, Workers: cfg.Workers, Backend: cfg.Backend},
+			sim.TrialProbe[core.State]{Make: func(trial int) sim.Probe[core.State] {
+				return func(step uint64, v sim.CensusView[core.State]) {
+					juntaAt[trial] = float64(pr.JuntaSizeOf(v.VisitStates))
+				}
+			}},
+		))
 		var sizes []float64
-		for trial := 0; trial < cfg.Trials; trial++ {
-			r := sim.NewRunner[core.State, *core.Protocol](pr, rng.NewStream(cfg.Seed+2, uint64(trial)))
-			if res := r.Run(); !res.Converged {
-				continue
+		for trial, res := range rs {
+			if res.Converged {
+				sizes = append(sizes, juntaAt[trial])
 			}
-			sizes = append(sizes, float64(pr.JuntaSize(r.Population())))
 		}
 		if len(sizes) == 0 {
 			continue
@@ -92,25 +104,32 @@ func Lemma53(cfg Config) []*Table {
 	return []*Table{t}
 }
 
-// Lemma71 measures the inhibitor drag census D_ℓ against n_I·4^{−ℓ}.
+// Lemma71 measures the inhibitor drag census D_ℓ against n_I·4^{−ℓ}, read
+// per trial through a final-snapshot census probe.
 func Lemma71(cfg Config) []*Table {
 	n := maxSize(cfg)
 	pr := core.MustNew(core.DefaultParams(n))
 	psi := pr.Params().Psi
 
+	censusAt := make([][]int, cfg.Trials)
+	rs := mustRun(sim.RunTrialsProbed[core.State, *core.Protocol](
+		func(int) *core.Protocol { return pr },
+		sim.TrialConfig{Trials: cfg.Trials, Seed: cfg.Seed + 3, Workers: cfg.Workers, Backend: cfg.Backend},
+		sim.TrialProbe[core.State]{Make: func(trial int) sim.Probe[core.State] {
+			return func(step uint64, v sim.CensusView[core.State]) {
+				censusAt[trial] = pr.InhibDragCensusOf(v.VisitStates)
+			}
+		}},
+	))
 	sums := make([]float64, psi+1)
 	nI := 0.0
 	trials := 0
-	for trial := 0; trial < cfg.Trials; trial++ {
-		r := sim.NewRunner[core.State, *core.Protocol](pr, rng.NewStream(cfg.Seed+3, uint64(trial)))
-		if res := r.Run(); !res.Converged {
+	for trial, res := range rs {
+		if !res.Converged || censusAt[trial] == nil {
 			continue
 		}
-		census := pr.InhibDragCensus(r.Population())
-		for l, c := range census {
+		for l, c := range censusAt[trial] {
 			sums[l] += float64(c)
-		}
-		for _, c := range census {
 			nI += float64(c)
 		}
 		trials++
@@ -158,7 +177,7 @@ func Lemma73(cfg Config) []*Table {
 		pr := core.MustNew(core.DefaultParams(n))
 		var entries, rounds []float64
 		for trial := 0; trial < cfg.Trials; trial++ {
-			stages, _, res := runWithStageTrackingFull(pr, cfg.Seed+4+uint64(trial)*31)
+			stages, _, res := runWithStageTracking(pr, cfg.Seed+4+uint64(trial)*31, cfg)
 			if !res.Converged {
 				continue
 			}
@@ -184,10 +203,6 @@ func Lemma73(cfg Config) []*Table {
 	}
 	t.AddNote("Lemma 7.3: O(log log n) rounds in expectation; each round cuts actives ≈ ×1/4 (bias-1/4 coin), plus the drag-tick wait for the last passive to withdraw")
 	return []*Table{t}
-}
-
-func runWithStageTrackingFull(pr *core.Protocol, seed uint64) (map[int]stageRecord, map[int]uint64, sim.Result) {
-	return runWithStageTracking(pr, seed)
 }
 
 // roundLength estimates interactions per clocked round from the recorded

@@ -35,13 +35,18 @@ func Table1(cfg Config) []*Table {
 			"par.time mean±95%", "p90", "states used", "t/ln²n", "t/(ln·lnln)", "t/n"},
 	}
 
-	runOne := func(name, paperStates, paperTime string, maxN int, run func(n int) []sim.Result) {
+	runOne := func(name, paperStates, paperTime string, maxN int, run func(n int) ([]sim.Result, error)) {
 		for _, n := range cfg.Sizes {
 			if n > maxN {
 				t.AddRow(name, paperStates, paperTime, d(n), "—", "—", "—", "—", "—", "—")
 				continue
 			}
-			rs := run(n)
+			rs, err := run(n)
+			if err != nil {
+				t.AddRow(name, paperStates, paperTime, d(n),
+					"config error: "+err.Error(), "—", "—", "—", "—", "—")
+				continue
+			}
 			if !sim.AllConverged(rs) {
 				t.AddRow(name, paperStates, paperTime, d(n),
 					fmt.Sprintf("only %d/%d converged", sim.ConvergedCount(rs), len(rs)),
@@ -73,11 +78,11 @@ func Table1(cfg Config) []*Table {
 		}
 	}
 
-	runOne("slow [AAD+04]", "O(1)", "Θ(n)", slowCap, func(n int) []sim.Result {
+	runOne("slow [AAD+04]", "O(1)", "Θ(n)", slowCap, func(n int) ([]sim.Result, error) {
 		p, _ := slow.New(n)
 		return sim.RunTrials[uint32, *slow.Protocol](func(int) *slow.Protocol { return p }, trialCfg(n))
 	})
-	runOne("lottery [BKKO18-style]", "O(log n)", "O(log² n) whp", math.MaxInt, func(n int) []sim.Result {
+	runOne("lottery [BKKO18-style]", "O(log n)", "O(log² n) whp", math.MaxInt, func(n int) ([]sim.Result, error) {
 		p := lottery.MustNew(lottery.DefaultParams(n))
 		// The lottery baseline is dense-only (no finite state-space
 		// enumeration); degrade an explicit counts request to auto, which
@@ -88,11 +93,11 @@ func Table1(cfg Config) []*Table {
 		}
 		return sim.RunTrials[uint32, *lottery.Protocol](func(int) *lottery.Protocol { return p }, tc)
 	})
-	runOne("gs18 [GS18]", "O(log log n)", "O(log² n) whp", math.MaxInt, func(n int) []sim.Result {
+	runOne("gs18 [GS18]", "O(log log n)", "O(log² n) whp", math.MaxInt, func(n int) ([]sim.Result, error) {
 		p := gs18.MustNew(gs18.DefaultParams(n))
 		return sim.RunTrials[uint32, *gs18.Protocol](func(int) *gs18.Protocol { return p }, trialCfg(n))
 	})
-	runOne("this work [GSU19]", "O(log log n)", "O(log n·log log n) exp.", math.MaxInt, func(n int) []sim.Result {
+	runOne("this work [GSU19]", "O(log log n)", "O(log n·log log n) exp.", math.MaxInt, func(n int) ([]sim.Result, error) {
 		p := core.MustNew(core.DefaultParams(n))
 		return sim.RunTrials[core.State, *core.Protocol](func(int) *core.Protocol { return p }, trialCfg(n))
 	})

@@ -14,7 +14,10 @@ import (
 // Theorem32 validates the phase-clock guarantees in isolation: with a junta
 // of size n^0.7, rounds stay synchronized (all agents' completed-round
 // counters within one of each other) and each round costs Θ(n log n)
-// interactions.
+// interactions. Round counters are read from the census view between
+// sampling windows. The standalone clock has no finite state-space
+// enumeration, so a counts-backend request degrades to auto (which picks
+// dense for it).
 func Theorem32(cfg Config) []*Table {
 	t := &Table{
 		ID:    "thm32",
@@ -28,15 +31,17 @@ func Theorem32(cfg Config) []*Table {
 		if err != nil {
 			continue
 		}
-		r := sim.NewRunner[uint32, *phaseclock.Standalone](c, rng.New(cfg.Seed+5))
+		eng := mustEngine(sim.NewEngine[uint32, *phaseclock.Standalone](
+			c, rng.New(cfg.Seed+5), sim.BackendAuto))
 		nln := float64(n) * math.Log(float64(n))
 		total := uint64(30 * nln)
 		sample := uint64(n)
 		worst := 0
+		minRounds := 0
 		for done := uint64(0); done < total; done += sample {
-			r.RunSteps(sample)
+			eng.RunSteps(sample)
 			minR, maxR := math.MaxInt32, 0
-			for _, s := range r.Population() {
+			censusOf[uint32](eng).VisitStates(func(s uint32, count int64) {
 				rr := c.Rounds(s)
 				if rr < minR {
 					minR = rr
@@ -44,16 +49,11 @@ func Theorem32(cfg Config) []*Table {
 				if rr > maxR {
 					maxR = rr
 				}
-			}
+			})
 			if d := maxR - minR; d > worst {
 				worst = d
 			}
-		}
-		minRounds := math.MaxInt32
-		for _, s := range r.Population() {
-			if rr := c.Rounds(s); rr < minRounds {
-				minRounds = rr
-			}
+			minRounds = minR
 		}
 		perRound := math.NaN()
 		if minRounds > 0 {
@@ -78,8 +78,8 @@ func Theorem82(cfg Config) []*Table {
 	var ns, means []float64
 	for _, n := range cfg.Sizes {
 		pr := core.MustNew(core.DefaultParams(n))
-		rs := sim.RunTrials[core.State, *core.Protocol](func(int) *core.Protocol { return pr },
-			sim.TrialConfig{Trials: cfg.Trials, Seed: cfg.Seed + 6 + uint64(n), Workers: cfg.Workers, Backend: cfg.Backend})
+		rs := mustRun(sim.RunTrials[core.State, *core.Protocol](func(int) *core.Protocol { return pr },
+			sim.TrialConfig{Trials: cfg.Trials, Seed: cfg.Seed + 6 + uint64(n), Workers: cfg.Workers, Backend: cfg.Backend}))
 		ok := 0
 		for _, res := range rs {
 			if res.Converged && res.Leaders == 1 {
@@ -125,8 +125,8 @@ func Epidemic(cfg Config) []*Table {
 		if err != nil {
 			continue
 		}
-		rs := sim.RunTrials[uint32, *epidemic.Protocol](func(int) *epidemic.Protocol { return p },
-			sim.TrialConfig{Trials: cfg.Trials, Seed: cfg.Seed + 7, Workers: cfg.Workers, Backend: cfg.Backend})
+		rs := mustRun(sim.RunTrials[uint32, *epidemic.Protocol](func(int) *epidemic.Protocol { return p },
+			sim.TrialConfig{Trials: cfg.Trials, Seed: cfg.Seed + 7, Workers: cfg.Workers, Backend: cfg.Backend}))
 		if !sim.AllConverged(rs) {
 			continue
 		}
@@ -170,8 +170,8 @@ func Ablation(cfg Config) []*Table {
 			params := core.DefaultParams(n)
 			v.mutate(&params)
 			pr := core.MustNew(params)
-			rs := sim.RunTrials[core.State, *core.Protocol](func(int) *core.Protocol { return pr },
-				sim.TrialConfig{Trials: cfg.Trials, Seed: cfg.Seed + 8 + uint64(n), Workers: cfg.Workers, Backend: cfg.Backend})
+			rs := mustRun(sim.RunTrials[core.State, *core.Protocol](func(int) *core.Protocol { return pr },
+				sim.TrialConfig{Trials: cfg.Trials, Seed: cfg.Seed + 8 + uint64(n), Workers: cfg.Workers, Backend: cfg.Backend}))
 			if !sim.AllConverged(rs) {
 				t.AddRow(v.name, d(n), "timeout in "+d(len(rs)-sim.ConvergedCount(rs))+" trials", "—", "—", "—")
 				continue

@@ -6,6 +6,7 @@ import (
 
 	"popelect/internal/rng"
 	"popelect/internal/sim"
+	"popelect/internal/simtest"
 	"popelect/internal/stats"
 )
 
@@ -93,10 +94,10 @@ func TestLogTimeScaling(t *testing.T) {
 	}
 	var ratios []float64
 	for _, n := range []int{1 << 10, 1 << 13} {
-		rs := sim.RunTrials[uint32, *Protocol](func(int) *Protocol {
+		rs := simtest.MustTrials(t)(sim.RunTrials[uint32, *Protocol](func(int) *Protocol {
 			p, _ := New(n, 7*n/10)
 			return p
-		}, sim.TrialConfig{Trials: 8, Seed: uint64(n)})
+		}, sim.TrialConfig{Trials: 8, Seed: uint64(n)}))
 		if !sim.AllConverged(rs) {
 			t.Fatalf("n=%d: not converged", n)
 		}

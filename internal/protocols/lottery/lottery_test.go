@@ -5,6 +5,7 @@ import (
 
 	"popelect/internal/rng"
 	"popelect/internal/sim"
+	"popelect/internal/simtest"
 	"popelect/internal/stats"
 )
 
@@ -42,8 +43,8 @@ func TestDefaultParamsScale(t *testing.T) {
 func TestElectsOneLeader(t *testing.T) {
 	for _, n := range []int{64, 256, 1024} {
 		pr := MustNew(DefaultParams(n))
-		rs := sim.RunTrials[uint32, *Protocol](func(int) *Protocol { return pr },
-			sim.TrialConfig{Trials: 10, Seed: uint64(n) + 5})
+		rs := simtest.MustTrials(t)(sim.RunTrials[uint32, *Protocol](func(int) *Protocol { return pr },
+			sim.TrialConfig{Trials: 10, Seed: uint64(n) + 5}))
 		for i, res := range rs {
 			if !res.Converged || res.Leaders != 1 {
 				t.Fatalf("n=%d trial %d: %+v", n, i, res)
@@ -133,8 +134,8 @@ func TestPolylogTime(t *testing.T) {
 	}
 	mean := func(n int) float64 {
 		pr := MustNew(DefaultParams(n))
-		rs := sim.RunTrials[uint32, *Protocol](func(int) *Protocol { return pr },
-			sim.TrialConfig{Trials: 5, Seed: uint64(n)})
+		rs := simtest.MustTrials(t)(sim.RunTrials[uint32, *Protocol](func(int) *Protocol { return pr },
+			sim.TrialConfig{Trials: 5, Seed: uint64(n)}))
 		if !sim.AllConverged(rs) {
 			t.Fatalf("n=%d not converged", n)
 		}

@@ -5,6 +5,7 @@ import (
 
 	"popelect/internal/rng"
 	"popelect/internal/sim"
+	"popelect/internal/simtest"
 	"popelect/internal/stats"
 )
 
@@ -61,10 +62,10 @@ func TestLinearTime(t *testing.T) {
 	}
 	var perN []float64
 	for _, n := range []int{1 << 8, 1 << 10} {
-		rs := sim.RunTrials[uint32, *Protocol](func(int) *Protocol {
+		rs := simtest.MustTrials(t)(sim.RunTrials[uint32, *Protocol](func(int) *Protocol {
 			p, _ := New(n)
 			return p
-		}, sim.TrialConfig{Trials: 10, Seed: uint64(n)})
+		}, sim.TrialConfig{Trials: 10, Seed: uint64(n)}))
 		if !sim.AllConverged(rs) {
 			t.Fatalf("n=%d: not all converged", n)
 		}

@@ -71,13 +71,24 @@ type CountsEngine[S comparable] struct {
 	step        uint64
 
 	// deltaCache memoizes Delta on id pairs: key a<<32|b → a'<<32|b'.
-	// While the state count stays at or below deltaTabMaxStride, lookups
-	// go through deltaTab, a flat stride×stride table indexed by
-	// a·stride + b (sentinel ^0 = empty) — a map lookup per interaction
-	// pair class is a measurable fraction of batch time otherwise.
+	// Pairs whose ids both lie below deltaStride go through deltaTab, a
+	// flat stride×stride table indexed by a·stride + b (sentinel ^0 =
+	// empty) — a map lookup per interaction pair class is a measurable
+	// fraction of batch time otherwise. The stride grows with the
+	// discovered state count up to deltaCap (derived from the protocol's
+	// enumerated state-space bound and a memory budget); pairs involving
+	// later-discovered ids fall back to the map cache, which keeps the hot
+	// early-discovered pairs in the table even when a protocol outgrows it.
 	deltaCache  map[uint64]uint64
 	deltaTab    []uint64
 	deltaStride int
+	deltaCap    int
+
+	// stateBound is len(proto.States()), the enumeration's upper bound on
+	// how many ids can ever be assigned (computed once at construction).
+	stateBound int
+
+	probes probeSet[S]
 
 	// Per-batch scratch, reused across batches.
 	occ      []int32
@@ -107,6 +118,10 @@ func NewCountsEngine[S comparable](proto Enumerable[S], src *rng.Source) *Counts
 		panic(fmt.Sprintf("sim: population size %d < 2", n))
 	}
 	e := &CountsEngine[S]{proto: proto, src: src, n: n}
+	e.stateBound = len(proto.States())
+	if e.stateBound < 1 {
+		e.stateBound = 1
+	}
 	e.Reset()
 	return e
 }
@@ -122,7 +137,12 @@ func (e *CountsEngine[S]) Reset() {
 	e.diff = e.diff[:0]
 	e.deltaCache = nil
 	e.deltaStride = 0
+	e.deltaCap = e.stateBound
+	if e.deltaCap > deltaTabMaxStride {
+		e.deltaCap = deltaTabMaxStride
+	}
 	e.growDeltaTab()
+	e.probes.rebase(0)
 	e.classCounts = make([]int64, e.proto.NumClasses())
 	e.leaders = 0
 	e.step = 0
@@ -153,7 +173,7 @@ func (e *CountsEngine[S]) indexOf(s S) int32 {
 	if len(e.states) > e.fen.cap {
 		e.rebuildFenwick()
 	}
-	if e.deltaStride != 0 && len(e.states) > e.deltaStride {
+	if len(e.states) > e.deltaStride {
 		e.growDeltaTab()
 	}
 	return id
@@ -168,23 +188,31 @@ func (e *CountsEngine[S]) rebuildFenwick() {
 	}
 }
 
-// deltaTabMaxStride caps the flat transition table at 2048×2048 entries
-// (32 MiB); protocols that discover more distinct states fall back to the
-// map cache.
-const deltaTabMaxStride = 1 << 11
+// deltaTabMaxStride caps the flat transition table's side length so the
+// table never exceeds ~64 MiB (2896² entries × 8 B ≈ 64 MiB). The cap used
+// for a given protocol is min(deltaTabMaxStride, len(States())): the
+// enumeration bounds how many ids can ever exist, so protocols with small
+// state spaces get exactly-sized tables, and GSU19's ~2500 discovered
+// states at n = 10⁹ (which overflowed the previous hard 2048 stride onto
+// the map cache) stay fully table-served.
+const deltaTabMaxStride = 2896
 
 // growDeltaTab (re)allocates the flat transition table for the current
-// state count, or switches to the map cache once the table would get too
-// big. Dropping memoized entries on growth is fine — they are recomputed
-// lazily from the pure Delta function.
+// state count, up to the per-protocol cap. Once the cap is reached the
+// table is kept (it serves all pairs of early-discovered ids — the hot
+// ones) and later ids overflow onto the map cache. Dropping memoized
+// entries on growth is fine — they are recomputed lazily from the pure
+// Delta function.
 func (e *CountsEngine[S]) growDeltaTab() {
 	stride := 1 << 8
 	for stride < len(e.states) {
 		stride <<= 1
 	}
-	if stride > deltaTabMaxStride {
-		e.deltaTab = nil
-		e.deltaStride = 0
+	if stride > e.deltaCap {
+		stride = e.deltaCap
+	}
+	if stride <= e.deltaStride {
+		// Already at the cap: overflow ids go through the map cache.
 		if e.deltaCache == nil {
 			e.deltaCache = make(map[uint64]uint64)
 		}
@@ -200,15 +228,15 @@ func (e *CountsEngine[S]) growDeltaTab() {
 // deltaIDs applies the transition function to an ordered id pair, indexing
 // any newly discovered successor states.
 func (e *CountsEngine[S]) deltaIDs(a, b int32) (int32, int32) {
-	if e.deltaStride != 0 {
+	if int(a) < e.deltaStride && int(b) < e.deltaStride {
 		idx := int(a)*e.deltaStride + int(b)
 		if v := e.deltaTab[idx]; v != ^uint64(0) {
 			return int32(v >> 32), int32(v & 0xffffffff)
 		}
 		a2, b2 := e.deltaIDsSlow(a, b)
-		if e.deltaStride != 0 { // indexOf may have dropped the table
-			e.deltaTab[int(a)*e.deltaStride+int(b)] = uint64(uint32(a2))<<32 | uint64(uint32(b2))
-		}
+		// The slow path may have grown the table (new stride, entries
+		// reset); recompute the index against the current stride.
+		e.deltaTab[int(a)*e.deltaStride+int(b)] = uint64(uint32(a2))<<32 | uint64(uint32(b2))
 		return a2, b2
 	}
 	key := uint64(uint32(a))<<32 | uint64(uint32(b))
@@ -216,6 +244,9 @@ func (e *CountsEngine[S]) deltaIDs(a, b int32) (int32, int32) {
 		return int32(v >> 32), int32(v & 0xffffffff)
 	}
 	a2, b2 := e.deltaIDsSlow(a, b)
+	if e.deltaCache == nil {
+		e.deltaCache = make(map[uint64]uint64)
+	}
 	e.deltaCache[key] = uint64(uint32(a2))<<32 | uint64(uint32(b2))
 	return a2, b2
 }
@@ -251,6 +282,45 @@ func (e *CountsEngine[S]) VisitStates(f func(s S, count int64)) {
 	}
 }
 
+// AddProbe implements ProbeTarget: p fires every `every` interactions plus
+// once at the end of Run (every == 0: end of Run only). In the batched
+// regime, batches are split at probe boundaries so probes observe the
+// census at their exact cadence; a cadence much shorter than the batch
+// length therefore shortens batches and costs throughput (see BatchLen).
+func (e *CountsEngine[S]) AddProbe(p Probe[S], every uint64) {
+	e.probes.add(p, every, e.step)
+}
+
+// Census implements ProbeTarget: the engine's current census view, which
+// reads the live census directly (free of charge — the census is the
+// engine's native representation).
+func (e *CountsEngine[S]) Census() CensusView[S] { return countsView[S]{e: e, step: e.step} }
+
+func (e *CountsEngine[S]) fireProbes() {
+	e.probes.fire(e.step, countsView[S]{e: e, step: e.step})
+}
+
+// countsView adapts the counts engine to CensusView.
+type countsView[S comparable] struct {
+	e    *CountsEngine[S]
+	step uint64
+}
+
+func (v countsView[S]) Step() uint64     { return v.step }
+func (v countsView[S]) N() int           { return v.e.n }
+func (v countsView[S]) Classes() []int64 { return v.e.classCounts }
+func (v countsView[S]) Leaders() int     { return int(v.e.leaders) }
+func (v countsView[S]) Occupied() int {
+	occ := 0
+	for _, c := range v.e.pop {
+		if c > 0 {
+			occ++
+		}
+	}
+	return occ
+}
+func (v countsView[S]) VisitStates(f func(s S, count int64)) { v.e.VisitStates(f) }
+
 func (e *CountsEngine[S]) bump(id int32, d int64) {
 	c := e.pop[id] + d
 	if c < 0 {
@@ -279,12 +349,15 @@ func (e *CountsEngine[S]) Step() bool {
 	b := e.fen.find(u2)
 	e.step++
 	a2, b2 := e.deltaIDs(a, b)
-	if a2 == a && b2 == b {
-		return false
+	changed := a2 != a || b2 != b
+	if changed {
+		e.moveOne(a, a2)
+		e.moveOne(b, b2)
 	}
-	e.moveOne(a, a2)
-	e.moveOne(b, b2)
-	return true
+	if e.probes.due(e.step) {
+		e.fireProbes()
+	}
+	return changed
 }
 
 // moveOne transfers one agent between states, skipping identity moves.
@@ -309,15 +382,19 @@ func (e *CountsEngine[S]) ApplyPair(responder, initiator S) bool {
 	}
 	e.step++
 	a2, b2 := e.deltaIDs(a, b)
-	if a2 == a && b2 == b {
-		return false
+	changed := a2 != a || b2 != b
+	if changed {
+		e.moveOne(a, a2)
+		e.moveOne(b, b2)
 	}
-	e.moveOne(a, a2)
-	e.moveOne(b, b2)
-	return true
+	if e.probes.due(e.step) {
+		e.fireProbes()
+	}
+	return changed
 }
 
-// batchLen returns the batch size to use next, at most `remaining`.
+// batchLen returns the batch size to use next, at most `remaining` and
+// never crossing the next probe boundary.
 func (e *CountsEngine[S]) batchLen(remaining uint64) uint64 {
 	l := e.BatchLen
 	if l == 0 {
@@ -332,6 +409,13 @@ func (e *CountsEngine[S]) batchLen(remaining uint64) uint64 {
 	}
 	if l > remaining {
 		l = remaining
+	}
+	// Split the batch at the next probe boundary so the probe observes the
+	// census at its exact step.
+	if nb := e.probes.nextBoundary(); nb != noProbe && nb > e.step {
+		if room := nb - e.step; l > room {
+			l = room
+		}
 	}
 	if l < 1 {
 		l = 1
@@ -540,15 +624,22 @@ func (e *CountsEngine[S]) Run() Result {
 			}
 		} else {
 			e.runBatch(l)
+			if e.probes.due(e.step) {
+				e.fireProbes()
+			}
 			converged = e.proto.Stable(e.classCounts)
 		}
+	}
+	if !e.probes.empty() {
+		e.probes.fireFinal(e.step, countsView[S]{e: e, step: e.step})
 	}
 	return e.result(converged)
 }
 
-// RunSteps implements Engine: executes at least k further interactions
-// (rounded up to whole batches in batch mode) without stopping at
-// stability, returning the current Result snapshot.
+// RunSteps implements Engine: executes exactly k further interactions
+// without stopping at stability (batches are clamped to the remaining
+// count, and to probe boundaries), returning the current Result snapshot.
+// Callers like the experiment checkpoints rely on the exactness.
 func (e *CountsEngine[S]) RunSteps(k uint64) Result {
 	end := e.step + k
 	for e.step < end {
@@ -557,6 +648,9 @@ func (e *CountsEngine[S]) RunSteps(k uint64) Result {
 			e.Step()
 		} else {
 			e.runBatch(l)
+			if e.probes.due(e.step) {
+				e.fireProbes()
+			}
 		}
 	}
 	return e.result(e.proto.Stable(e.classCounts))

@@ -209,3 +209,112 @@ func TestFenwick(t *testing.T) {
 		t.Fatalf("after removal find(0) = %d, want 2", got)
 	}
 }
+
+// bigEnum is an Enumerable fixture with a configurable state-space bound,
+// for exercising the flat delta-table sizing. Delta mixes states so that
+// arbitrary ids can be forced into the transition cache.
+type bigEnum struct{ n, states int }
+
+func (p bigEnum) Name() string          { return "bigEnum" }
+func (p bigEnum) N() int                { return p.n }
+func (p bigEnum) Init(i int) uint32     { return uint32(i % p.states) }
+func (p bigEnum) NumClasses() int       { return 1 }
+func (p bigEnum) Class(s uint32) uint8  { return 0 }
+func (p bigEnum) Leader(s uint32) bool  { return false }
+func (p bigEnum) Stable(c []int64) bool { return false }
+func (p bigEnum) Delta(r, i uint32) (uint32, uint32) {
+	return (r + i) % uint32(p.states), i
+}
+func (p bigEnum) States() []uint32 {
+	out := make([]uint32, p.states)
+	for i := range out {
+		out[i] = uint32(i)
+	}
+	return out
+}
+
+// TestDeltaTabSizedFromEnumerationBound pins the auto-sizing contract: a
+// protocol whose States() bound fits the memory budget gets a table capped
+// at exactly that bound — tiny protocols get tiny tables, and a protocol
+// with more than the old hard 2048-stride limit (GSU19 discovers ~2500
+// distinct states at n = 10⁹) stays fully table-served.
+func TestDeltaTabSizedFromEnumerationBound(t *testing.T) {
+	// Tiny bound: the table clamps to it immediately.
+	small := NewCountsEngine[uint32](bigEnum{n: 10, states: 7}, rng.New(1))
+	if small.deltaCap != 7 || small.deltaStride != 7 {
+		t.Fatalf("bound-7 protocol: cap %d stride %d, want 7/7", small.deltaCap, small.deltaStride)
+	}
+	if len(small.deltaTab) != 49 {
+		t.Fatalf("bound-7 protocol: table has %d entries, want 49", len(small.deltaTab))
+	}
+
+	// A bound beyond the old 2048 limit but within the memory budget: the
+	// stride must be able to grow past 2048 up to the bound.
+	const states = 2500
+	e := NewCountsEngine[uint32](bigEnum{n: 10, states: states}, rng.New(1))
+	if e.deltaCap != states {
+		t.Fatalf("cap %d, want %d", e.deltaCap, states)
+	}
+	for s := 0; s < states; s++ {
+		e.indexOf(uint32(s))
+	}
+	if e.deltaStride != states {
+		t.Fatalf("after discovering all %d states the stride is %d — table abandoned", states, e.deltaStride)
+	}
+	// High-id pairs are served by the flat table, not the map cache.
+	a, b := int32(2300), int32(2400)
+	a2, b2 := e.deltaIDs(a, b)
+	if want := int32((2300 + 2400) % states); a2 != want || b2 != b {
+		t.Fatalf("deltaIDs(%d, %d) = (%d, %d), want (%d, %d)", a, b, a2, b2, want, b)
+	}
+	if got := e.deltaTab[int(a)*e.deltaStride+int(b)]; got == ^uint64(0) {
+		t.Fatal("high-id pair was not memoized in the flat table")
+	}
+	if len(e.deltaCache) != 0 {
+		t.Fatalf("map cache holds %d entries; everything should fit the table", len(e.deltaCache))
+	}
+}
+
+// TestDeltaTabOverflowFallsBackToMap pins the two-tier behavior when the
+// enumeration bound exceeds the memory budget: the table stays at its cap
+// serving early-discovered (hot) ids, and later ids go through the map
+// cache — correctness is unaffected.
+func TestDeltaTabOverflowFallsBackToMap(t *testing.T) {
+	states := deltaTabMaxStride + 100
+	e := NewCountsEngine[uint32](bigEnum{n: 10, states: states}, rng.New(1))
+	if e.deltaCap != deltaTabMaxStride {
+		t.Fatalf("cap %d, want the budget stride %d", e.deltaCap, deltaTabMaxStride)
+	}
+	for s := 0; s < states; s++ {
+		e.indexOf(uint32(s))
+	}
+	if e.deltaStride != deltaTabMaxStride {
+		t.Fatalf("stride %d, want %d (table kept at cap)", e.deltaStride, deltaTabMaxStride)
+	}
+	if e.deltaTab == nil {
+		t.Fatal("table dropped on overflow; it must keep serving low-id pairs")
+	}
+	// Low-id pair: table path.
+	if a2, b2 := e.deltaIDs(3, 5); a2 != 8 || b2 != 5 {
+		t.Fatalf("low-id deltaIDs = (%d, %d)", a2, b2)
+	}
+	// Pair with one id beyond the stride: map path, correct result.
+	hi := int32(deltaTabMaxStride + 50)
+	want := int32((int(hi) + 2) % states)
+	if a2, b2 := e.deltaIDs(hi, 2); a2 != want || b2 != 2 {
+		t.Fatalf("high-id deltaIDs(%d, 2) = (%d, %d), want (%d, 2)", hi, a2, b2, want)
+	}
+	if len(e.deltaCache) == 0 {
+		t.Fatal("overflow pair was not memoized in the map cache")
+	}
+	// And the engine still simulates correctly across the boundary.
+	e2 := NewCountsEngine[uint32](bigEnum{n: 5000, states: states}, rng.New(9))
+	res := e2.RunSteps(20000)
+	total := int64(0)
+	for _, c := range res.Counts {
+		total += c
+	}
+	if total != 5000 {
+		t.Fatalf("census mass %d after mixed table/map simulation, want 5000", total)
+	}
+}

@@ -16,6 +16,9 @@ import (
 // batches of interactions with aggregated random draws, which makes
 // populations of 10⁸–10⁹ agents simulable. Engines are single-goroutine; to
 // parallelize, create one engine per trial (see RunTrials).
+//
+// Both backends implement ProbeTarget: census probes (AddProbe, Census) are
+// the backend-agnostic observation mechanism.
 type Engine interface {
 	// Reset reinitializes the population to the protocol's initial
 	// configuration. The PRNG is not reseeded.

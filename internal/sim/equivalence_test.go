@@ -89,12 +89,18 @@ func TestCrossBackendConvergenceKS(t *testing.T) {
 	pr := gs18.MustNew(gs18.DefaultParams(n))
 	factory := func(int) *gs18.Protocol { return pr }
 
-	denseRes := sim.RunTrials[uint32, *gs18.Protocol](factory, sim.TrialConfig{
+	denseRes, err := sim.RunTrials[uint32, *gs18.Protocol](factory, sim.TrialConfig{
 		Trials: trials, Seed: 2019, Backend: sim.BackendDense,
 	})
-	countsRes := sim.RunTrials[uint32, *gs18.Protocol](factory, sim.TrialConfig{
+	if err != nil {
+		t.Fatal(err)
+	}
+	countsRes, err := sim.RunTrials[uint32, *gs18.Protocol](factory, sim.TrialConfig{
 		Trials: trials, Seed: 1871, Backend: sim.BackendCounts,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !sim.AllConverged(denseRes) || !sim.AllConverged(countsRes) {
 		t.Fatalf("convergence: dense %d/%d, counts %d/%d",
 			sim.ConvergedCount(denseRes), trials, sim.ConvergedCount(countsRes), trials)
@@ -126,12 +132,18 @@ func TestCrossBackendBatchModeAgrees(t *testing.T) {
 	pr := gs18.MustNew(gs18.DefaultParams(n))
 	factory := func(int) *gs18.Protocol { return pr }
 
-	denseRes := sim.RunTrials[uint32, *gs18.Protocol](factory, sim.TrialConfig{
+	denseRes, err := sim.RunTrials[uint32, *gs18.Protocol](factory, sim.TrialConfig{
 		Trials: trials, Seed: 7, Backend: sim.BackendDense,
 	})
-	batchRes := sim.RunTrials[uint32, *gs18.Protocol](factory, sim.TrialConfig{
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchRes, err := sim.RunTrials[uint32, *gs18.Protocol](factory, sim.TrialConfig{
 		Trials: trials, Seed: 8, Backend: sim.BackendCounts, BatchLen: n / 8,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !sim.AllConverged(denseRes) || !sim.AllConverged(batchRes) {
 		t.Fatalf("convergence: dense %d/%d, batch %d/%d",
 			sim.ConvergedCount(denseRes), trials, sim.ConvergedCount(batchRes), trials)

@@ -1,0 +1,190 @@
+package sim_test
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"popelect/internal/protocols/gs18"
+	"popelect/internal/rng"
+	"popelect/internal/sim"
+)
+
+// serializeView renders a census view deterministically: step, per-class
+// census, leader count, occupied count, and the full state census sorted
+// by state value (VisitStates order is unspecified, so the serialization
+// must not depend on it).
+func serializeView(step uint64, v sim.CensusView[uint32]) string {
+	type entry struct {
+		s uint32
+		c int64
+	}
+	var entries []entry
+	v.VisitStates(func(s uint32, c int64) {
+		entries = append(entries, entry{s, c})
+	})
+	sort.Slice(entries, func(i, j int) bool { return entries[i].s < entries[j].s })
+	var b strings.Builder
+	fmt.Fprintf(&b, "step=%d n=%d leaders=%d occupied=%d classes=%v census=",
+		step, v.N(), v.Leaders(), v.Occupied(), v.Classes())
+	for _, e := range entries {
+		fmt.Fprintf(&b, "%#x:%d;", e.s, e.c)
+	}
+	return b.String()
+}
+
+// TestProbeCensusSeriesDenseVsCountsReplay is the probe-equivalence
+// contract: over the same execution trajectory, the dense and the counts
+// backend must emit byte-for-byte identical census series at the same
+// probe cadence. The trajectory is pinned by replay — the dense run's
+// (responder, initiator) state pairs are fed to the counts engine in exact
+// mode (same seeds select different concrete agents in the two
+// representations, so free-running same-seed executions are only
+// distribution-equal; replay removes that slack and isolates the probe
+// pipeline itself: firing steps, census content, class counts, leader
+// counts, occupied-state counts, and the end-of-run final fire).
+func TestProbeCensusSeriesDenseVsCountsReplay(t *testing.T) {
+	const n = 500
+	const every = 250
+	pr := gs18.MustNew(gs18.DefaultParams(n))
+
+	dense := sim.NewRunner[uint32, *gs18.Protocol](pr, rng.New(42))
+	var pairs [][2]uint32
+	dense.AddHook(func(step uint64, ri, ii int, oldR, oldI, newR, newI uint32) {
+		pairs = append(pairs, [2]uint32{oldR, oldI})
+	})
+	var denseSeries []string
+	dense.AddProbe(func(step uint64, v sim.CensusView[uint32]) {
+		denseSeries = append(denseSeries, serializeView(step, v))
+	}, every)
+	denseRes := dense.Run()
+	if !denseRes.Converged {
+		t.Fatalf("dense run did not converge: %+v", denseRes)
+	}
+
+	counts := sim.NewCountsEngine[uint32](pr, rng.New(42)) // PRNG unused during replay
+	var countsSeries []string
+	counts.AddProbe(func(step uint64, v sim.CensusView[uint32]) {
+		countsSeries = append(countsSeries, serializeView(step, v))
+	}, every)
+	for _, p := range pairs {
+		counts.ApplyPair(p[0], p[1])
+	}
+	// Run on the already-stable replayed configuration advances nothing and
+	// delivers the final probe fire at the same step as the dense run's.
+	countsRes := counts.Run()
+	if countsRes.Interactions != denseRes.Interactions {
+		t.Fatalf("replay advanced to %d interactions, dense stopped at %d",
+			countsRes.Interactions, denseRes.Interactions)
+	}
+
+	if len(countsSeries) != len(denseSeries) {
+		t.Fatalf("series lengths differ: dense %d fires, counts %d fires",
+			len(denseSeries), len(countsSeries))
+	}
+	for i := range denseSeries {
+		if denseSeries[i] != countsSeries[i] {
+			t.Fatalf("census series diverge at fire %d:\ndense:  %s\ncounts: %s",
+				i, denseSeries[i], countsSeries[i])
+		}
+	}
+	if len(denseSeries) < 3 {
+		t.Fatalf("equivalence vacuous: only %d probe fires", len(denseSeries))
+	}
+}
+
+// TestCountsBatchProbeFiresAtExactCadence pins the batch-splitting
+// contract: in the batched regime, probes fire exactly at multiples of
+// their interval — the engine shortens batches to end on probe boundaries
+// instead of letting the batch stride past them.
+func TestCountsBatchProbeFiresAtExactCadence(t *testing.T) {
+	pr := gs18.MustNew(gs18.DefaultParams(1 << 14))
+	e := sim.NewCountsEngine[uint32](pr, rng.New(17))
+	e.BatchLen = 1 << 11 // force batch mode (n < ExactMaxN would default to exact)
+	const every = 1000   // misaligned with the 2048-step batches
+	var fires []uint64
+	e.AddProbe(func(step uint64, v sim.CensusView[uint32]) {
+		fires = append(fires, step)
+	}, every)
+	e.RunSteps(10_000)
+	if len(fires) != 10 {
+		t.Fatalf("probe fired %d times over 10000 steps at interval 1000: %v", len(fires), fires)
+	}
+	for i, s := range fires {
+		if s != uint64(i+1)*every {
+			t.Fatalf("fire %d at step %d, want %d", i, s, uint64(i+1)*every)
+		}
+	}
+}
+
+// TestCountsBatchProbeStillConverges checks that probe-induced batch
+// splitting leaves the execution law intact enough to elect a unique
+// leader in the batched regime.
+func TestCountsBatchProbeStillConverges(t *testing.T) {
+	pr := gs18.MustNew(gs18.DefaultParams(1 << 14))
+	e := sim.NewCountsEngine[uint32](pr, rng.New(23))
+	e.BatchLen = 1 << 11
+	fires := 0
+	lastLeaders := -1
+	e.AddProbe(func(step uint64, v sim.CensusView[uint32]) {
+		fires++
+		lastLeaders = v.Leaders()
+	}, 5000)
+	res := e.Run()
+	if !res.Converged || res.Leaders != 1 {
+		t.Fatalf("probed batch run failed to elect: %+v", res)
+	}
+	if fires == 0 {
+		t.Fatal("probe never fired")
+	}
+	if lastLeaders != 1 {
+		t.Fatalf("final probe fire saw %d leaders, result says %d", lastLeaders, res.Leaders)
+	}
+}
+
+// TestEngineCensusOnDemand checks the on-demand census view of both
+// backends against the engine's own accounting.
+func TestEngineCensusOnDemand(t *testing.T) {
+	pr := gs18.MustNew(gs18.DefaultParams(600))
+	for _, backend := range []sim.Backend{sim.BackendDense, sim.BackendCounts} {
+		eng, err := sim.NewEngine[uint32, *gs18.Protocol](pr, rng.New(3), backend)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.RunSteps(5000)
+		v, err := sim.Census[uint32](eng)
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		if v.Step() != 5000 || v.N() != 600 {
+			t.Fatalf("%s: view step %d n %d", backend, v.Step(), v.N())
+		}
+		var total int64
+		distinct := 0
+		v.VisitStates(func(s uint32, c int64) {
+			if c <= 0 {
+				t.Fatalf("%s: state %#x with count %d", backend, s, c)
+			}
+			total += c
+			distinct++
+		})
+		if total != 600 {
+			t.Fatalf("%s: census mass %d, want 600", backend, total)
+		}
+		if distinct != v.Occupied() {
+			t.Fatalf("%s: Occupied %d but VisitStates yielded %d states", backend, v.Occupied(), distinct)
+		}
+		if v.Leaders() != eng.Leaders() {
+			t.Fatalf("%s: view leaders %d, engine %d", backend, v.Leaders(), eng.Leaders())
+		}
+	}
+	// The census request must reject a mismatched state type.
+	eng, _ := sim.NewEngine[uint32, *gs18.Protocol](pr, rng.New(3), sim.BackendDense)
+	if _, err := sim.Census[uint64](eng); err == nil {
+		t.Fatal("Census with the wrong state type must error")
+	}
+	if err := sim.AddProbe[uint64](eng, func(uint64, sim.CensusView[uint64]) {}, 1); err == nil {
+		t.Fatal("AddProbe with the wrong state type must error")
+	}
+}

@@ -14,6 +14,11 @@ type Hook[S comparable] func(step uint64, ri, ii int, oldR, oldI, newR, newI S)
 
 // Observer samples the whole population periodically. It receives the step
 // count and a read-only view of the population slice.
+//
+// Observers are a dense-backend legacy interface: they expose agent
+// identities (the population slice), which only the dense runner has. New
+// code should use the backend-agnostic census Probe instead (see AddProbe);
+// observers are implemented as a thin adapter over the probe pipeline.
 type Observer[S comparable] func(step uint64, pop []S)
 
 // PairSource supplies the scheduler's ordered agent pairs. *rng.Source is
@@ -50,17 +55,19 @@ type Runner[S comparable, P Protocol[S]] struct {
 	// convergence times.
 	CheckEvery uint64
 
-	hooks     []Hook[S]
-	observers []observer[S]
+	hooks  []Hook[S]
+	probes probeSet[S]
+
+	// stateCensus is the incremental state→count aggregation of pop,
+	// maintained only while a census-reading probe is registered (censusOn);
+	// it costs two map updates per state change. Observer adapters and
+	// probe-free runs leave it off, and on-demand Census() calls build a
+	// throwaway snapshot instead.
+	stateCensus map[S]int64
+	censusOn    bool
 
 	seen map[S]struct{}
 	step uint64
-}
-
-// observer pairs an Observer with its own sampling interval.
-type observer[S comparable] struct {
-	fn    Observer[S]
-	every uint64
 }
 
 // NewRunner creates a runner for proto using the given pair source
@@ -110,6 +117,19 @@ func (r *Runner[S, P]) Reset() {
 			r.seen[s] = struct{}{}
 		}
 	}
+	if r.censusOn {
+		r.stateCensus = buildCensus(r.pop)
+	}
+	r.probes.rebase(0)
+}
+
+// buildCensus aggregates a population slice into a state→count map.
+func buildCensus[S comparable](pop []S) map[S]int64 {
+	m := make(map[S]int64)
+	for _, s := range pop {
+		m[s]++
+	}
+	return m
 }
 
 // AddHook registers a per-interaction hook.
@@ -117,12 +137,68 @@ func (r *Runner[S, P]) AddHook(h Hook[S]) { r.hooks = append(r.hooks, h) }
 
 // AddObserver registers a population observer invoked every interval
 // interactions (and once more at the end of Run). Each observer fires at
-// its own interval.
+// its own interval. It is a thin adapter over the probe pipeline: the
+// observer rides the probe schedule but reads the population slice
+// directly, so it adds no census upkeep.
 func (r *Runner[S, P]) AddObserver(o Observer[S], interval uint64) {
 	if interval == 0 {
 		interval = 1
 	}
-	r.observers = append(r.observers, observer[S]{fn: o, every: interval})
+	r.probes.add(func(step uint64, _ CensusView[S]) { o(step, r.pop) }, interval, r.step)
+}
+
+// AddProbe registers a census probe firing every `every` interactions plus
+// once at the end of Run (every == 0: end of Run only). Registering a
+// periodic probe switches the runner to incremental state-census
+// maintenance, which costs two map updates per state change; final-only
+// probes are instead served by a one-off O(n) snapshot at fire time and
+// add no per-interaction cost.
+func (r *Runner[S, P]) AddProbe(p Probe[S], every uint64) {
+	r.probes.add(p, every, r.step)
+	if every > 0 && !r.censusOn {
+		r.censusOn = true
+		r.stateCensus = buildCensus(r.pop)
+	}
+}
+
+// Census implements ProbeTarget: the runner's current census view. When no
+// probe keeps the incremental census alive, the view aggregates the
+// population on first use (O(n)).
+func (r *Runner[S, P]) Census() CensusView[S] { return &denseView[S, P]{r: r, step: r.step} }
+
+// fireProbes delivers due probes with a snapshot view.
+func (r *Runner[S, P]) fireProbes() {
+	r.probes.fire(r.step, &denseView[S, P]{r: r, step: r.step})
+}
+
+// denseView adapts the dense runner to CensusView. It reads the runner's
+// incremental census when maintained, and otherwise aggregates the
+// population lazily on first state access.
+type denseView[S comparable, P Protocol[S]] struct {
+	r    *Runner[S, P]
+	step uint64
+	lazy map[S]int64
+}
+
+func (v *denseView[S, P]) censusMap() map[S]int64 {
+	if v.r.censusOn {
+		return v.r.stateCensus
+	}
+	if v.lazy == nil {
+		v.lazy = buildCensus(v.r.pop)
+	}
+	return v.lazy
+}
+
+func (v *denseView[S, P]) Step() uint64     { return v.step }
+func (v *denseView[S, P]) N() int           { return v.r.n }
+func (v *denseView[S, P]) Occupied() int    { return len(v.censusMap()) }
+func (v *denseView[S, P]) Classes() []int64 { return v.r.counts }
+func (v *denseView[S, P]) Leaders() int     { return v.r.leaders }
+func (v *denseView[S, P]) VisitStates(f func(s S, count int64)) {
+	for s, c := range v.censusMap() {
+		f(s, c)
+	}
 }
 
 // SetBudget implements Engine: it sets MaxInteractions.
@@ -194,6 +270,9 @@ func (r *Runner[S, P]) Step() bool {
 	for _, h := range r.hooks {
 		h(r.step, ri, ii, oldR, oldI, newR, newI)
 	}
+	if r.probes.due(r.step) {
+		r.fireProbes()
+	}
 	return changed
 }
 
@@ -201,6 +280,14 @@ func (r *Runner[S, P]) apply(idx int, old, new S) {
 	r.pop[idx] = new
 	r.counts[r.proto.Class(old)]--
 	r.counts[r.proto.Class(new)]++
+	if r.censusOn {
+		if c := r.stateCensus[old] - 1; c == 0 {
+			delete(r.stateCensus, old)
+		} else {
+			r.stateCensus[old] = c
+		}
+		r.stateCensus[new]++
+	}
 	if r.proto.Leader(old) {
 		r.leaders--
 	}
@@ -243,26 +330,22 @@ func (r *Runner[S, P]) Run() Result {
 		if changed && (check == 1 || r.step%check == 0) {
 			converged = r.proto.Stable(r.counts)
 		}
-		for _, o := range r.observers {
-			if r.step%o.every == 0 {
-				o.fn(r.step, r.pop)
-			}
-		}
 	}
 	// A final stability check in case the last step crossed the predicate
 	// between check intervals.
 	if !converged {
 		converged = r.proto.Stable(r.counts)
 	}
-	for _, o := range r.observers {
-		o.fn(r.step, r.pop)
+	if !r.probes.empty() {
+		r.probes.fireFinal(r.step, &denseView[S, P]{r: r, step: r.step})
 	}
 	return r.result(converged)
 }
 
 // RunSteps executes exactly k further interactions (or fewer if the
 // configuration stabilizes first is NOT checked — all k run), returning the
-// current Result snapshot. Useful for driving observers manually.
+// current Result snapshot. Probes fire at their boundaries along the way
+// (without the end-of-Run final fire).
 func (r *Runner[S, P]) RunSteps(k uint64) Result {
 	for i := uint64(0); i < k; i++ {
 		r.Step()

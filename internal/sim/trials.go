@@ -29,7 +29,8 @@ type TrialConfig struct {
 
 	// Backend selects the simulation engine: BackendDense, BackendCounts
 	// or BackendAuto. Empty means BackendDense, the historical default.
-	// BackendCounts panics if the protocol does not implement Enumerable;
+	// BackendCounts with a protocol that does not implement Enumerable is
+	// reported as an error by RunTrials before any worker spawns;
 	// BackendAuto falls back to dense in that case.
 	Backend Backend
 
@@ -38,29 +39,50 @@ type TrialConfig struct {
 	BatchLen uint64
 }
 
+// TrialProbe attaches one census probe to every trial's engine in
+// RunTrialsProbed. Make is called once per trial on the worker goroutine;
+// the returned probe fires every Every interactions plus once at the end
+// of the trial's Run (Every == 0: end of Run only). Probes observe only
+// their own trial, so per-trial sinks (e.g. a stats.Collector per trial,
+// allocated up front and indexed by trial) need no locking.
+type TrialProbe[S comparable] struct {
+	Every uint64
+	Make  func(trial int) Probe[S]
+}
+
 // RunTrials executes cfg.Trials independent runs of the protocols produced
 // by factory (called once per trial, so protocols may be shared or fresh)
 // and returns the results ordered by trial index.
 //
 // Trials are distributed over a bounded worker pool; each trial gets its own
 // deterministic PRNG stream, so results are reproducible regardless of the
-// number of workers. RunTrials panics if cfg.Backend is BackendCounts and
-// the protocol does not implement Enumerable.
-func RunTrials[S comparable, P Protocol[S]](factory func(trial int) P, cfg TrialConfig) []Result {
+// number of workers. Configuration problems — an unknown backend, or
+// BackendCounts with a protocol that does not implement Enumerable — are
+// reported as an error before any worker spawns.
+func RunTrials[S comparable, P Protocol[S]](factory func(trial int) P, cfg TrialConfig) ([]Result, error) {
+	return RunTrialsProbed[S, P](factory, cfg)
+}
+
+// RunTrialsProbed is RunTrials with census probes attached to every
+// trial's engine — the bulk-observation entry point: trajectory series are
+// recorded per trial (see TrialProbe) and merged afterwards, e.g. with
+// stats.AggregateOnGrid.
+func RunTrialsProbed[S comparable, P Protocol[S]](factory func(trial int) P, cfg TrialConfig, probes ...TrialProbe[S]) ([]Result, error) {
 	if cfg.Trials <= 0 {
-		return nil
+		return nil, nil
 	}
-	// Validate the backend on the caller's goroutine so misconfiguration
-	// panics here rather than killing a worker.
+	// Validate the configuration on the caller's goroutine, before any
+	// worker spawns, so misconfiguration surfaces as an error here rather
+	// than a panic inside the pool.
 	switch cfg.Backend {
 	case "", BackendDense, BackendAuto:
 	case BackendCounts:
 		var zero P
 		if _, ok := any(zero).(Enumerable[S]); !ok {
-			panic(fmt.Sprintf("sim: backend counts requires protocol type %T to implement Enumerable (finite state-space enumeration)", zero))
+			return nil, fmt.Errorf("sim: backend counts requires protocol type %T to implement Enumerable (finite state-space enumeration)", zero)
 		}
 	default:
-		panic(fmt.Sprintf("sim: unknown backend %q", cfg.Backend))
+		return nil, fmt.Errorf("sim: unknown backend %q (want dense, counts or auto)", cfg.Backend)
 	}
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -79,6 +101,14 @@ func RunTrials[S comparable, P Protocol[S]](factory func(trial int) P, cfg Trial
 			for t := range jobs {
 				src := rng.NewStream(cfg.Seed, uint64(t))
 				eng := newTrialEngine[S, P](factory(t), src, cfg)
+				for _, tp := range probes {
+					if tp.Make == nil {
+						continue
+					}
+					if err := AddProbe[S](eng, tp.Make(t), tp.Every); err != nil {
+						panic(err) // unreachable: both backends implement ProbeTarget[S]
+					}
+				}
 				res := eng.Run()
 				res.Seed = uint64(t)
 				results[t] = res
@@ -90,7 +120,7 @@ func RunTrials[S comparable, P Protocol[S]](factory func(trial int) P, cfg Trial
 	}
 	close(jobs)
 	wg.Wait()
-	return results
+	return results, nil
 }
 
 // newTrialEngine builds one trial's engine from the config. The historical

@@ -6,9 +6,21 @@ import (
 	"testing"
 )
 
+// mustTrials returns an unwrapper for RunTrials results in tests that use
+// a known-good configuration.
+func mustTrials(t *testing.T) func([]Result, error) []Result {
+	return func(rs []Result, err error) []Result {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rs
+	}
+}
+
 func TestRunTrialsBasic(t *testing.T) {
 	cfg := TrialConfig{Trials: 16, Seed: 42, Workers: 4}
-	rs := RunTrials[uint32, duel](func(int) duel { return duel{50} }, cfg)
+	rs := mustTrials(t)(RunTrials[uint32, duel](func(int) duel { return duel{50} }, cfg))
 	if len(rs) != 16 {
 		t.Fatalf("got %d results", len(rs))
 	}
@@ -30,8 +42,8 @@ func TestRunTrialsBasic(t *testing.T) {
 
 func TestRunTrialsReproducibleAcrossWorkerCounts(t *testing.T) {
 	mk := func(int) duel { return duel{40} }
-	a := RunTrials[uint32, duel](mk, TrialConfig{Trials: 8, Seed: 7, Workers: 1})
-	b := RunTrials[uint32, duel](mk, TrialConfig{Trials: 8, Seed: 7, Workers: 8})
+	a := mustTrials(t)(RunTrials[uint32, duel](mk, TrialConfig{Trials: 8, Seed: 7, Workers: 1}))
+	b := mustTrials(t)(RunTrials[uint32, duel](mk, TrialConfig{Trials: 8, Seed: 7, Workers: 8}))
 	for i := range a {
 		if a[i].Interactions != b[i].Interactions || a[i].LeaderID != b[i].LeaderID {
 			t.Fatalf("trial %d differs across worker counts: %+v vs %+v", i, a[i], b[i])
@@ -41,8 +53,8 @@ func TestRunTrialsReproducibleAcrossWorkerCounts(t *testing.T) {
 
 func TestRunTrialsDifferentSeedsDiffer(t *testing.T) {
 	mk := func(int) duel { return duel{100} }
-	a := RunTrials[uint32, duel](mk, TrialConfig{Trials: 4, Seed: 1})
-	b := RunTrials[uint32, duel](mk, TrialConfig{Trials: 4, Seed: 2})
+	a := mustTrials(t)(RunTrials[uint32, duel](mk, TrialConfig{Trials: 4, Seed: 1}))
+	b := mustTrials(t)(RunTrials[uint32, duel](mk, TrialConfig{Trials: 4, Seed: 2}))
 	same := 0
 	for i := range a {
 		if a[i].Interactions == b[i].Interactions {
@@ -55,8 +67,9 @@ func TestRunTrialsDifferentSeedsDiffer(t *testing.T) {
 }
 
 func TestRunTrialsZero(t *testing.T) {
-	if rs := RunTrials[uint32, duel](func(int) duel { return duel{10} }, TrialConfig{}); rs != nil {
-		t.Fatal("zero trials must return nil")
+	rs, err := RunTrials[uint32, duel](func(int) duel { return duel{10} }, TrialConfig{})
+	if rs != nil || err != nil {
+		t.Fatal("zero trials must return nil, nil")
 	}
 }
 
@@ -77,7 +90,7 @@ func TestExtractors(t *testing.T) {
 
 func TestRunTrialsMaxInteractions(t *testing.T) {
 	cfg := TrialConfig{Trials: 3, Seed: 5, MaxInteractions: 4}
-	rs := RunTrials[uint32, duel](func(int) duel { return duel{500} }, cfg)
+	rs := mustTrials(t)(RunTrials[uint32, duel](func(int) duel { return duel{500} }, cfg))
 	for _, r := range rs {
 		if r.Converged {
 			t.Fatal("trials cannot converge in 4 interactions from 500 leaders")
@@ -90,7 +103,7 @@ func TestRunTrialsMaxInteractions(t *testing.T) {
 
 func TestRunTrialsTrackStates(t *testing.T) {
 	cfg := TrialConfig{Trials: 2, Seed: 9, TrackStates: true}
-	rs := RunTrials[uint32, duel](func(int) duel { return duel{20} }, cfg)
+	rs := mustTrials(t)(RunTrials[uint32, duel](func(int) duel { return duel{20} }, cfg))
 	for _, r := range rs {
 		if r.DistinctStates != 2 {
 			t.Fatalf("distinct states = %d", r.DistinctStates)
@@ -104,13 +117,13 @@ func TestRunTrialsTrackStates(t *testing.T) {
 func TestRunTrialsByteIdenticalAcrossWorkerCounts(t *testing.T) {
 	for _, backend := range []Backend{BackendDense, BackendCounts} {
 		mk := func(int) enumDuel { return enumDuel{duel{300}} }
-		base := RunTrials[uint32, enumDuel](mk, TrialConfig{
+		base := mustTrials(t)(RunTrials[uint32, enumDuel](mk, TrialConfig{
 			Trials: 12, Seed: 99, Workers: 1, Backend: backend, TrackStates: true,
-		})
+		}))
 		for _, workers := range []int{4, runtime.GOMAXPROCS(0)} {
-			got := RunTrials[uint32, enumDuel](mk, TrialConfig{
+			got := mustTrials(t)(RunTrials[uint32, enumDuel](mk, TrialConfig{
 				Trials: 12, Seed: 99, Workers: workers, Backend: backend, TrackStates: true,
-			})
+			}))
 			if !reflect.DeepEqual(base, got) {
 				t.Fatalf("backend %s: results differ between 1 and %d workers:\n%+v\nvs\n%+v",
 					backend, workers, base, got)
@@ -120,8 +133,8 @@ func TestRunTrialsByteIdenticalAcrossWorkerCounts(t *testing.T) {
 }
 
 func TestRunTrialsCountsBackend(t *testing.T) {
-	rs := RunTrials[uint32, enumDuel](func(int) enumDuel { return enumDuel{duel{200}} },
-		TrialConfig{Trials: 6, Seed: 3, Backend: BackendCounts})
+	rs := mustTrials(t)(RunTrials[uint32, enumDuel](func(int) enumDuel { return enumDuel{duel{200}} },
+		TrialConfig{Trials: 6, Seed: 3, Backend: BackendCounts}))
 	if !AllConverged(rs) {
 		t.Fatal("counts trials did not converge")
 	}
@@ -135,25 +148,97 @@ func TestRunTrialsCountsBackend(t *testing.T) {
 	}
 }
 
-func TestRunTrialsCountsPanicsWithoutEnumerable(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("BackendCounts with a non-Enumerable protocol must panic")
-		}
-	}()
-	RunTrials[uint32, duel](func(int) duel { return duel{50} },
+// TestRunTrialsCountsErrorsWithoutEnumerable pins the validated-error
+// contract: a counts-backend request for a protocol without finite
+// state-space enumeration must be reported as an error before any worker
+// spawns, not as a panic inside the pool.
+func TestRunTrialsCountsErrorsWithoutEnumerable(t *testing.T) {
+	rs, err := RunTrials[uint32, duel](func(int) duel { return duel{50} },
 		TrialConfig{Trials: 1, Seed: 1, Backend: BackendCounts})
+	if err == nil {
+		t.Fatal("BackendCounts with a non-Enumerable protocol must return an error")
+	}
+	if rs != nil {
+		t.Fatalf("misconfigured RunTrials must not return results, got %d", len(rs))
+	}
+}
+
+func TestRunTrialsUnknownBackendErrors(t *testing.T) {
+	_, err := RunTrials[uint32, duel](func(int) duel { return duel{50} },
+		TrialConfig{Trials: 1, Seed: 1, Backend: Backend("bogus")})
+	if err == nil {
+		t.Fatal("unknown backend must return an error")
+	}
 }
 
 func TestRunTrialsAutoFallsBackToDense(t *testing.T) {
-	rs := RunTrials[uint32, duel](func(int) duel { return duel{50} },
-		TrialConfig{Trials: 2, Seed: 1, Backend: BackendAuto})
+	rs := mustTrials(t)(RunTrials[uint32, duel](func(int) duel { return duel{50} },
+		TrialConfig{Trials: 2, Seed: 1, Backend: BackendAuto}))
 	if !AllConverged(rs) {
 		t.Fatal("auto trials did not converge")
 	}
 	for _, r := range rs {
 		if r.LeaderID < 0 {
 			t.Fatal("auto on a small non-enumerable protocol must use the dense backend (agent identities)")
+		}
+	}
+}
+
+// TestRunTrialsProbedPerTrialSeries pins the bulk-observation contract:
+// every trial's probe sees its own engine only, fires at its cadence, and
+// per-trial sinks indexed by trial need no locking.
+func TestRunTrialsProbedPerTrialSeries(t *testing.T) {
+	const trials = 8
+	const every = 50
+	type rec struct {
+		steps   []uint64
+		leaders []int
+	}
+	recs := make([]rec, trials)
+	for _, backend := range []Backend{BackendDense, BackendCounts} {
+		for i := range recs {
+			recs[i] = rec{}
+		}
+		rs, err := RunTrialsProbed[uint32, enumDuel](
+			func(int) enumDuel { return enumDuel{duel{300}} },
+			TrialConfig{Trials: trials, Seed: 11, Backend: backend},
+			TrialProbe[uint32]{Every: every, Make: func(trial int) Probe[uint32] {
+				return func(step uint64, v CensusView[uint32]) {
+					recs[trial].steps = append(recs[trial].steps, step)
+					recs[trial].leaders = append(recs[trial].leaders, v.Leaders())
+				}
+			}},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range rs {
+			got := recs[i]
+			if len(got.steps) == 0 {
+				t.Fatalf("backend %s trial %d: probe never fired", backend, i)
+			}
+			// Every boundary multiple up to the end, plus the final fire
+			// (which duplicates the boundary fire when the run ends on one,
+			// mirroring the observer contract).
+			want := int(r.Interactions/every) + 1
+			if len(got.steps) != want {
+				t.Fatalf("backend %s trial %d: %d fires over %d interactions, want %d (steps %v)",
+					backend, i, len(got.steps), r.Interactions, want, got.steps)
+			}
+			for k := 0; k+1 < len(got.steps); k++ {
+				if got.steps[k] != uint64(k+1)*every {
+					t.Fatalf("backend %s trial %d: fire %d at step %d, want %d",
+						backend, i, k, got.steps[k], uint64(k+1)*every)
+				}
+			}
+			if last := got.steps[len(got.steps)-1]; last != r.Interactions {
+				t.Fatalf("backend %s trial %d: final fire at %d, result says %d",
+					backend, i, last, r.Interactions)
+			}
+			if got.leaders[len(got.leaders)-1] != r.Leaders {
+				t.Fatalf("backend %s trial %d: final probe leaders %d, result %d",
+					backend, i, got.leaders[len(got.leaders)-1], r.Leaders)
+			}
 		}
 	}
 }

@@ -64,16 +64,34 @@ type Result struct {
 	// DistinctStates is the number of distinct agent states used during
 	// the run (an empirical space measure), if state tracking was on.
 	DistinctStates int
+	// Timeline is the census timeline recorded by WithCensusTimeline
+	// (nil without it): one sample per interval plus the initial
+	// configuration and the stabilization point.
+	Timeline []CensusPoint
+}
+
+// CensusPoint is one sample of a census timeline: the election's dynamics
+// at a given interaction count. It is backend-agnostic — recorded through
+// the census probe pipeline on the dense and the counts engine alike.
+type CensusPoint struct {
+	// Step is the interaction count of the sample.
+	Step uint64
+	// Leaders is the number of leader-output agents.
+	Leaders int
+	// States is the number of distinct occupied states at the sample
+	// (not cumulative; compare Result.DistinctStates).
+	States int
 }
 
 type options struct {
-	seed        uint64
-	budget      uint64
-	gamma       int
-	phi         int
-	psi         int
-	trackStates bool
-	backend     string
+	seed          uint64
+	budget        uint64
+	gamma         int
+	phi           int
+	psi           int
+	trackStates   bool
+	backend       string
+	timelineEvery uint64
 }
 
 // Option configures an election.
@@ -102,6 +120,15 @@ func WithStateTracking() Option { return func(o *options) { o.trackStates = true
 // of 10⁸–10⁹ agents; Result.LeaderID is -1 because agents are anonymous),
 // or "auto" (counts for large enumerable protocols, dense otherwise).
 func WithBackend(backend string) Option { return func(o *options) { o.backend = backend } }
+
+// WithCensusTimeline records a census sample (leader count, occupied
+// states) every interval interactions into Result.Timeline, plus the
+// initial configuration and the stabilization point. It works on every
+// backend; on the counts backend the engine splits its batches at sample
+// boundaries, so very small intervals cost throughput.
+func WithCensusTimeline(interval uint64) Option {
+	return func(o *options) { o.timelineEvery = interval }
+}
 
 // Elect runs the paper's protocol on a population of n agents and returns
 // the elected leader. It is deterministic given WithSeed.
@@ -182,6 +209,23 @@ func run[S comparable, P sim.Protocol[S]](pr P, o options) (Result, error) {
 	if st, ok := eng.(sim.StateTracker); ok {
 		st.SetTrackStates(o.trackStates)
 	}
+	var timeline []CensusPoint
+	if o.timelineEvery > 0 {
+		record := func(step uint64, v sim.CensusView[S]) {
+			if len(timeline) > 0 && timeline[len(timeline)-1].Step == step {
+				return // run ended exactly on a sample boundary
+			}
+			timeline = append(timeline, CensusPoint{Step: step, Leaders: v.Leaders(), States: v.Occupied()})
+		}
+		if err := sim.AddProbe[S](eng, record, o.timelineEvery); err != nil {
+			return Result{}, fmt.Errorf("popelect: %w", err)
+		}
+		cv, err := sim.Census[S](eng)
+		if err != nil {
+			return Result{}, fmt.Errorf("popelect: %w", err)
+		}
+		record(0, cv)
+	}
 	res := eng.Run()
 	if !res.Converged {
 		return Result{}, fmt.Errorf("popelect: %s did not stabilize within %d interactions",
@@ -195,5 +239,6 @@ func run[S comparable, P sim.Protocol[S]](pr P, o options) (Result, error) {
 		Interactions:   res.Interactions,
 		ParallelTime:   res.ParallelTime(),
 		DistinctStates: res.DistinctStates,
+		Timeline:       timeline,
 	}, nil
 }

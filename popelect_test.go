@@ -1,6 +1,9 @@
 package popelect
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 func TestElectBasic(t *testing.T) {
 	res, err := Elect(1000, WithSeed(7))
@@ -24,7 +27,7 @@ func TestElectDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a != b {
+	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
 	}
 	c, err := Elect(512, WithSeed(4))
@@ -118,5 +121,50 @@ func TestElectWithCountsBackend(t *testing.T) {
 	}
 	if _, err := ElectWith(Lottery, 100, WithBackend("counts")); err == nil {
 		t.Fatal("lottery is dense-only; counts must error")
+	}
+}
+
+// TestElectCensusTimeline exercises the probe-backed timeline option on
+// both backends: samples at the requested cadence, the initial
+// configuration first, the stabilization point (one leader) last.
+func TestElectCensusTimeline(t *testing.T) {
+	for _, backend := range []string{"dense", "counts"} {
+		res, err := ElectWith(GS18, 2000, WithSeed(5), WithBackend(backend),
+			WithCensusTimeline(1000))
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		tl := res.Timeline
+		if len(tl) < 2 {
+			t.Fatalf("%s: timeline has %d points", backend, len(tl))
+		}
+		if tl[0].Step != 0 {
+			t.Fatalf("%s: timeline starts at step %d, want 0", backend, tl[0].Step)
+		}
+		for i := 1; i < len(tl); i++ {
+			if tl[i].Step <= tl[i-1].Step {
+				t.Fatalf("%s: timeline steps not increasing: %+v", backend, tl)
+			}
+			if i < len(tl)-1 && tl[i].Step%1000 != 0 {
+				t.Fatalf("%s: interior sample off cadence at step %d", backend, tl[i].Step)
+			}
+		}
+		last := tl[len(tl)-1]
+		if last.Step != res.Interactions || last.Leaders != 1 {
+			t.Fatalf("%s: final sample %+v, result %+v", backend, last, res)
+		}
+		if last.States < 1 {
+			t.Fatalf("%s: final sample reports %d occupied states", backend, last.States)
+		}
+	}
+}
+
+func TestElectTimelineOffByDefault(t *testing.T) {
+	res, err := Elect(512, WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Timeline != nil {
+		t.Fatal("timeline must be nil without WithCensusTimeline")
 	}
 }
