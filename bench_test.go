@@ -337,9 +337,17 @@ func BenchmarkBackendCountsExactGS18(b *testing.B) { benchBackend(b, 1<<15, sim.
 func BenchmarkBackendCountsBatchGS18(b *testing.B) { benchBackend(b, 1<<15, sim.BackendCounts, 1<<12) }
 
 // BenchmarkBackendCountsMillion runs a full GS18 election at n = 2²⁰ per
-// iteration — a population the dense backend needs minutes for.
+// iteration — a population the dense backend needs minutes for. At this
+// size the auto policy resolves to the drift-bounded adaptive controller.
 func BenchmarkBackendCountsMillion(b *testing.B) {
 	benchBackend(b, 1<<20, sim.BackendCounts, 0)
+}
+
+// BenchmarkBackendCountsFixedMillion is the same election under the fixed
+// n/8 policy — the throughput side of the batch-policy dial (compare
+// against BenchmarkBackendCountsMillion's adaptive default).
+func BenchmarkBackendCountsFixedMillion(b *testing.B) {
+	benchBackend(b, 1<<20, sim.BackendCounts, 1<<17)
 }
 
 // --- Probe overhead on the counts backend ---

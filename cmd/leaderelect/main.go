@@ -31,21 +31,27 @@ import (
 
 func main() {
 	var (
-		n       = flag.Int("n", 10000, "population size")
-		alg     = flag.String("alg", "gsu19", "algorithm: gsu19, gs18, lottery, slow")
-		seed    = flag.Uint64("seed", 1, "PRNG seed")
-		gamma   = flag.Int("gamma", 0, "phase clock resolution Γ (0 = default)")
-		phi     = flag.Int("phi", 0, "coin level cap Φ (0 = default)")
-		psi     = flag.Int("psi", 0, "drag range Ψ (0 = default)")
-		trials  = flag.Int("trials", 1, "number of independent runs")
-		backend = flag.String("backend", "dense", "simulation backend: dense, counts or auto (counts scales to n=10⁸–10⁹ but reports no leader agent id)")
-		verbose = flag.Bool("v", false, "print a census timeline (gsu19 only; forces the dense backend)")
-		probe   = flag.Uint64("probe-interval", 0, "record a census sample (leaders, occupied states) every N interactions; works on every backend")
-		series  = flag.String("series", "", "write the recorded census timeline as CSV to this path (requires -probe-interval)")
+		n        = flag.Int("n", 10000, "population size")
+		alg      = flag.String("alg", "gsu19", "algorithm: gsu19, gs18, lottery, slow")
+		seed     = flag.Uint64("seed", 1, "PRNG seed")
+		gamma    = flag.Int("gamma", 0, "phase clock resolution Γ (0 = default)")
+		phi      = flag.Int("phi", 0, "coin level cap Φ (0 = default)")
+		psi      = flag.Int("psi", 0, "drag range Ψ (0 = default)")
+		trials   = flag.Int("trials", 1, "number of independent runs")
+		backend  = flag.String("backend", "dense", "simulation backend: dense, counts or auto (counts scales to n=10⁸–10⁹ but reports no leader agent id)")
+		batch    = flag.String("batch", "auto", "counts-backend batch policy: auto, adaptive, exact, or a fixed batch length")
+		batchEps = flag.Float64("batch-eps", 0, "adaptive batch controller drift bound ε (0 = default)")
+		verbose  = flag.Bool("v", false, "print a census timeline (gsu19 only; forces the dense backend)")
+		probe    = flag.Uint64("probe-interval", 0, "record a census sample (leaders, occupied states) every N interactions; works on every backend")
+		series   = flag.String("series", "", "write the recorded census timeline as CSV to this path (requires -probe-interval)")
 	)
 	flag.Parse()
 
 	if _, err := sim.ParseBackend(*backend); err != nil {
+		fmt.Fprintln(os.Stderr, "leaderelect:", err)
+		os.Exit(2)
+	}
+	if _, err := sim.ParseBatchPolicy(*batch); err != nil {
 		fmt.Fprintln(os.Stderr, "leaderelect:", err)
 		os.Exit(2)
 	}
@@ -69,7 +75,8 @@ func main() {
 	}
 
 	for t := 0; t < *trials; t++ {
-		opts := []popelect.Option{popelect.WithSeed(*seed + uint64(t)), popelect.WithBackend(*backend)}
+		opts := []popelect.Option{popelect.WithSeed(*seed + uint64(t)), popelect.WithBackend(*backend),
+			popelect.WithBatchPolicy(*batch), popelect.WithBatchEps(*batchEps)}
 		if *gamma != 0 {
 			opts = append(opts, popelect.WithGamma(*gamma))
 		}

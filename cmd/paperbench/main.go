@@ -29,15 +29,17 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
-		sizes   = flag.String("sizes", "", "comma-separated population sizes (default: experiment preset)")
-		trials  = flag.Int("trials", 0, "trials per measurement point (default: preset)")
-		seed    = flag.Uint64("seed", 0, "base seed (default: preset)")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		smoke   = flag.Bool("smoke", false, "tiny configuration for a quick look")
-		backend = flag.String("backend", "dense", "simulation backend for trial-based experiments: dense, counts or auto")
-		probe   = flag.Uint64("probe-interval", 0, "census-probe cadence for trajectory experiments, in interactions (0 = per-experiment default)")
-		sdir    = flag.String("series-dir", "", "directory where trajectory experiments (scalefigures) write CSV time series (empty = no files)")
+		exp      = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		sizes    = flag.String("sizes", "", "comma-separated population sizes (default: experiment preset)")
+		trials   = flag.Int("trials", 0, "trials per measurement point (default: preset)")
+		seed     = flag.Uint64("seed", 0, "base seed (default: preset)")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		smoke    = flag.Bool("smoke", false, "tiny configuration for a quick look")
+		backend  = flag.String("backend", "dense", "simulation backend for trial-based experiments: dense, counts or auto")
+		batch    = flag.String("batch", "auto", "counts-backend batch policy: auto, adaptive, exact, or a fixed batch length")
+		batchEps = flag.Float64("batch-eps", 0, "adaptive batch controller drift bound ε (0 = default)")
+		probe    = flag.Uint64("probe-interval", 0, "census-probe cadence for trajectory experiments, in interactions (0 = per-experiment default)")
+		sdir     = flag.String("series-dir", "", "directory where trajectory experiments (scalefigures, biassweep) write CSV files (empty = no files)")
 	)
 	flag.Parse()
 
@@ -75,6 +77,13 @@ func main() {
 		os.Exit(2)
 	}
 	cfg.Backend = be
+	bp, err := sim.ParseBatchPolicy(*batch)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(2)
+	}
+	bp.Eps = *batchEps
+	cfg.Batch = bp
 	cfg.ProbeInterval = *probe
 	cfg.SeriesDir = *sdir
 

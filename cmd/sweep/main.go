@@ -27,13 +27,15 @@ import (
 
 func main() {
 	var (
-		what    = flag.String("what", "gamma", "parameter to sweep: gamma, phi, psi")
-		n       = flag.Int("n", 4096, "population size")
-		trials  = flag.Int("trials", 5, "trials per setting")
-		seed    = flag.Uint64("seed", 1, "base seed")
-		backend = flag.String("backend", "dense", "simulation backend: dense, counts or auto")
-		probe   = flag.Uint64("probe-interval", 0, "census-probe cadence for trajectory recording (0 = n/4)")
-		sdir    = flag.String("series-dir", "", "write a mean leader-count trajectory CSV per swept value into this directory")
+		what     = flag.String("what", "gamma", "parameter to sweep: gamma, phi, psi")
+		n        = flag.Int("n", 4096, "population size")
+		trials   = flag.Int("trials", 5, "trials per setting")
+		seed     = flag.Uint64("seed", 1, "base seed")
+		backend  = flag.String("backend", "dense", "simulation backend: dense, counts or auto")
+		batch    = flag.String("batch", "auto", "counts-backend batch policy: auto, adaptive, exact, or a fixed batch length")
+		batchEps = flag.Float64("batch-eps", 0, "adaptive batch controller drift bound ε (0 = default)")
+		probe    = flag.Uint64("probe-interval", 0, "census-probe cadence for trajectory recording (0 = n/4)")
+		sdir     = flag.String("series-dir", "", "write a mean leader-count trajectory CSV per swept value into this directory")
 	)
 	flag.Parse()
 
@@ -42,6 +44,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(2)
 	}
+	bp, err := sim.ParseBatchPolicy(*batch)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(2)
+	}
+	bp.Eps = *batchEps
 
 	var values []int
 	mutate := func(p *core.Params, v int) {}
@@ -97,7 +105,7 @@ func main() {
 			})
 		}
 		rs, err := sim.RunTrialsProbed[core.State, *core.Protocol](func(int) *core.Protocol { return pr },
-			sim.TrialConfig{Trials: *trials, Seed: *seed + uint64(v), Backend: be}, probes...)
+			sim.TrialConfig{Trials: *trials, Seed: *seed + uint64(v), Backend: be, Batch: bp}, probes...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sweep:", err)
 			os.Exit(1)

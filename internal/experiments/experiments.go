@@ -37,6 +37,12 @@ type Config struct {
 	// clock protocol has no finite state-space enumeration.
 	Backend sim.Backend
 
+	// Batch selects the counts backend's batch scheduling policy for
+	// experiments that run on it (zero value = BatchAuto: exact below
+	// sim.ExactMaxN agents, drift-bounded adaptive batching above). The
+	// dense backend ignores it.
+	Batch sim.BatchPolicy
+
 	// ProbeInterval overrides the census-probe cadence of trajectory
 	// experiments, in interactions (0 = per-experiment default: n/16 for
 	// the dense-scale figure/lemma experiments, n for scalefigures).
@@ -161,6 +167,7 @@ func All() []struct {
 		{"ablation", Ablation},
 		{"scale", Scale},
 		{"scalefigures", ScaleFigures},
+		{"biassweep", BiasSweep},
 	}
 }
 
@@ -187,6 +194,17 @@ func mustRun(rs []sim.Result, err error) []sim.Result {
 func mustEngine(eng sim.Engine, err error) sim.Engine {
 	if err != nil {
 		panic(err)
+	}
+	return eng
+}
+
+// applyBatch applies cfg.Batch to engines with configurable batch
+// scheduling (the counts backend) and returns the engine, so every
+// experiment that constructs engines directly honors -batch/-batch-eps
+// exactly like the RunTrials-based ones.
+func applyBatch(eng sim.Engine, cfg Config) sim.Engine {
+	if bc, ok := eng.(sim.BatchConfigurable); ok {
+		bc.SetBatchPolicy(cfg.Batch)
 	}
 	return eng
 }

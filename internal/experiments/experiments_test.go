@@ -37,7 +37,7 @@ func runAndRender(t *testing.T, id string) string {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "fig1", "fig2", "fig3", "lemma41", "lemma53",
 		"lemma71", "lemma73", "thm32", "thm82", "epidemic", "ablation", "scale",
-		"scalefigures"}
+		"scalefigures", "biassweep"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(all), len(want))
@@ -149,6 +149,47 @@ func TestTable1Experiment(t *testing.T) {
 
 func TestScaleFiguresExperiment(t *testing.T) {
 	runAndRender(t, "scalefigures")
+}
+
+// TestBiasSweepExperiment smoke-runs the batch-policy bias sweep at small
+// scale: every policy row must converge on every trial, the dense ground
+// truth row must be present, and the CSV export must land when a series
+// directory is configured (the throughput leg is size-gated off here).
+func TestBiasSweepExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("biassweep runs six policies × dense ground truth")
+	}
+	cfg := SmokeConfig()
+	cfg.SeriesDir = t.TempDir()
+	run, ok := Lookup("biassweep")
+	if !ok {
+		t.Fatal("biassweep not registered")
+	}
+	tables := run(cfg)
+	if len(tables) != 1 {
+		t.Fatalf("smoke biassweep produced %d tables, want 1 (throughput leg must be size-gated off)", len(tables))
+	}
+	tab := tables[0]
+	if len(tab.Rows) != 6 { // dense + 5 policies
+		t.Fatalf("bias table has %d rows, want 6:\n%v", len(tab.Rows), tab.Rows)
+	}
+	for _, row := range tab.Rows {
+		conv := row[len(row)-1]
+		if i := strings.IndexByte(conv, '/'); i < 0 || conv[:i] != conv[i+1:] {
+			t.Fatalf("policy %q converged %s of its trials", row[0], conv)
+		}
+	}
+	matches, err := filepath.Glob(filepath.Join(cfg.SeriesDir, "biassweep_bias_*.csv"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("bias CSV export: %v, %v", matches, err)
+	}
+	data, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "policy,eps,trials,partime_mean") {
+		t.Fatalf("unexpected CSV header: %q", strings.SplitN(string(data), "\n", 2)[0])
+	}
 }
 
 // TestScaleFiguresWritesCSV pins the trajectory-export contract: with a

@@ -74,6 +74,7 @@ func Table1(cfg Config) []*Table {
 		return sim.TrialConfig{
 			Trials: cfg.Trials, Seed: cfg.Seed + uint64(n), Workers: cfg.Workers,
 			Backend:     cfg.Backend,
+			Batch:       cfg.Batch,
 			TrackStates: true,
 		}
 	}

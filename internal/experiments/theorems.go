@@ -31,8 +31,8 @@ func Theorem32(cfg Config) []*Table {
 		if err != nil {
 			continue
 		}
-		eng := mustEngine(sim.NewEngine[uint32, *phaseclock.Standalone](
-			c, rng.New(cfg.Seed+5), sim.BackendAuto))
+		eng := applyBatch(mustEngine(sim.NewEngine[uint32, *phaseclock.Standalone](
+			c, rng.New(cfg.Seed+5), sim.BackendAuto)), cfg)
 		nln := float64(n) * math.Log(float64(n))
 		total := uint64(30 * nln)
 		sample := uint64(n)
@@ -79,7 +79,7 @@ func Theorem82(cfg Config) []*Table {
 	for _, n := range cfg.Sizes {
 		pr := core.MustNew(core.DefaultParams(n))
 		rs := mustRun(sim.RunTrials[core.State, *core.Protocol](func(int) *core.Protocol { return pr },
-			sim.TrialConfig{Trials: cfg.Trials, Seed: cfg.Seed + 6 + uint64(n), Workers: cfg.Workers, Backend: cfg.Backend}))
+			sim.TrialConfig{Trials: cfg.Trials, Seed: cfg.Seed + 6 + uint64(n), Workers: cfg.Workers, Backend: cfg.Backend, Batch: cfg.Batch}))
 		ok := 0
 		for _, res := range rs {
 			if res.Converged && res.Leaders == 1 {
@@ -126,7 +126,7 @@ func Epidemic(cfg Config) []*Table {
 			continue
 		}
 		rs := mustRun(sim.RunTrials[uint32, *epidemic.Protocol](func(int) *epidemic.Protocol { return p },
-			sim.TrialConfig{Trials: cfg.Trials, Seed: cfg.Seed + 7, Workers: cfg.Workers, Backend: cfg.Backend}))
+			sim.TrialConfig{Trials: cfg.Trials, Seed: cfg.Seed + 7, Workers: cfg.Workers, Backend: cfg.Backend, Batch: cfg.Batch}))
 		if !sim.AllConverged(rs) {
 			continue
 		}
@@ -171,7 +171,7 @@ func Ablation(cfg Config) []*Table {
 			v.mutate(&params)
 			pr := core.MustNew(params)
 			rs := mustRun(sim.RunTrials[core.State, *core.Protocol](func(int) *core.Protocol { return pr },
-				sim.TrialConfig{Trials: cfg.Trials, Seed: cfg.Seed + 8 + uint64(n), Workers: cfg.Workers, Backend: cfg.Backend}))
+				sim.TrialConfig{Trials: cfg.Trials, Seed: cfg.Seed + 8 + uint64(n), Workers: cfg.Workers, Backend: cfg.Backend, Batch: cfg.Batch}))
 			if !sim.AllConverged(rs) {
 				t.AddRow(v.name, d(n), "timeout in "+d(len(rs)-sim.ConvergedCount(rs))+" trials", "—", "—", "—")
 				continue

@@ -26,13 +26,21 @@ import (
 // batch collapses into census increments weighted by pair-class counts.
 //
 // The batch law differs from the sequential scheduler in that agents never
-// interact twice within one batch (true collisions are Θ(ℓ²/n) per batch),
-// which biases stabilization times upward — measured at ≈10% on GS18 with
-// the default ℓ = n/8 batches, ≈30% at the maximal ℓ = n/2 (it also
-// suppresses the heavy upper tail the sequential scheduler produces in the
-// slow-backup regime). Populations below ExactMaxN are instead advanced one
-// interaction at a time, which reproduces the dense scheduler's law
-// exactly; that regime backs the cross-backend equivalence tests.
+// interact twice within one batch (true collisions are Θ(ℓ²/n) per batch)
+// and the census is frozen for the batch's duration, which biases
+// stabilization times upward — measured at ≈10% on GS18 with fixed ℓ = n/8
+// batches, ≈30% at the maximal ℓ = n/2 (it also suppresses the heavy upper
+// tail the sequential scheduler produces in the slow-backup regime). The
+// default Policy therefore tiers by population size: below ExactMaxN it
+// advances one interaction at a time (the dense scheduler's law exactly —
+// the regime the cross-backend equivalence tests pin); up to
+// AutoAdaptiveMaxN it bounds each batch adaptively so that no state's
+// expected count drifts more than an ε fraction per batch (BatchAdaptive),
+// keeping bulk-phase batches long and shrinking them through the volatile
+// endgame; and beyond that it returns to fixed n/8 batches, whose
+// artificial phase-clock synchronization is what keeps marginal protocols
+// stabilizing fast in the asymptotic regime (see BatchPolicy and
+// AutoAdaptiveMaxN for the measured story).
 //
 // A CountsEngine is single-goroutine, like Runner.
 type CountsEngine[S comparable] struct {
@@ -43,16 +51,17 @@ type CountsEngine[S comparable] struct {
 	// MaxInteractions bounds Run; 0 means DefaultBudget(n).
 	MaxInteractions uint64
 
-	// BatchLen is the number of interactions advanced per aggregated
-	// batch. 0 selects automatically: exact per-interaction simulation
-	// below ExactMaxN agents, n/8 above. 1 forces exact simulation.
-	// Values above n/2 are clamped to n/2 (a batch cannot involve more
-	// than n distinct agents; n/2 is the synchronous-matching-style
-	// regime that maximizes throughput). Shorter batches track the
-	// sequential scheduler more closely at proportionally more compute:
-	// on GS18 leader election the stabilization-time mean runs ≈10%
-	// above the dense scheduler's at n/8 and ≈30% above at n/2, while
-	// per-batch compute is essentially batch-length independent.
+	// Policy selects the batch scheduling strategy. The zero value is
+	// BatchAuto: exact per-interaction simulation below ExactMaxN agents,
+	// the drift-bounded adaptive controller (DefaultBatchEps) up to
+	// AutoAdaptiveMaxN, fixed n/8 batches beyond.
+	Policy BatchPolicy
+
+	// BatchLen is the legacy fixed-batch knob: a nonzero value is
+	// shorthand for BatchPolicy{Mode: BatchFixed, Len: BatchLen} and takes
+	// effect when Policy is left at its zero value (1 forces exact
+	// simulation). Values above n/2 are clamped to n/2 (a batch cannot
+	// involve more than n distinct agents). New code should set Policy.
 	BatchLen uint64
 
 	// State indexing is lazy: states are assigned dense int32 ids in
@@ -90,6 +99,11 @@ type CountsEngine[S comparable] struct {
 
 	probes probeSet[S]
 
+	// adaptLen is the adaptive controller's next batch length, derived
+	// from the previous batch's realized per-state census drift (0 = not
+	// yet initialized; see updateAdaptive).
+	adaptLen uint64
+
 	// Per-batch scratch, reused across batches.
 	occ      []int32
 	resp     []int64
@@ -97,6 +111,7 @@ type CountsEngine[S comparable] struct {
 	poolInit []int64
 	weights  []float64
 	touched  []int32
+	snapPop  []int64 // census snapshot for exact-chunk drift measurement
 }
 
 // ExactMaxN is the population size below which the counts backend defaults
@@ -143,6 +158,7 @@ func (e *CountsEngine[S]) Reset() {
 	}
 	e.growDeltaTab()
 	e.probes.rebase(0)
+	e.adaptLen = 0
 	e.classCounts = make([]int64, e.proto.NumClasses())
 	e.leaders = 0
 	e.step = 0
@@ -393,15 +409,92 @@ func (e *CountsEngine[S]) ApplyPair(responder, initiator S) bool {
 	return changed
 }
 
-// batchLen returns the batch size to use next, at most `remaining` and
-// never crossing the next probe boundary.
-func (e *CountsEngine[S]) batchLen(remaining uint64) uint64 {
-	l := e.BatchLen
-	if l == 0 {
-		if e.n < ExactMaxN {
-			l = 1
-		} else {
-			l = uint64(e.n) / 8
+// Adaptive controller tuning. The controller bounds the expected census
+// drift of every state over one batch: large states by an ε fraction of
+// their count, and small states by an absolute agent allowance. The
+// allowance is two-tier: small leader-bearing states — the protocol's
+// output, whose integer dynamics are what the endgame race runs on — may
+// drift by at most adaptiveSmallAbs agents per batch, while small
+// non-leader states get the looser adaptiveChurnAbs. The looser tier
+// matters: protocols carry a long tail of O(1)-count transient states
+// (clock boundary states, coin minorities) that fully turn over every
+// batch; holding them to a few agents would pin batches two orders of
+// magnitude below what bulk fidelity needs, while their absolute effect on
+// any interaction rate is O(1/n). Batch lengths grow by at most
+// adaptiveGrow per batch through quiescent phases and shrink without limit
+// when drift picks up; below adaptiveFloor the engine abandons batching
+// and steps exactly in adaptiveFloor-interaction chunks, re-measuring
+// drift over each chunk so it can re-enter the batched regime when the
+// population calms down.
+const (
+	adaptiveSmallAbs = 4.0
+	adaptiveChurnAbs = 32.0
+	adaptiveGrow     = 2
+	adaptiveFloor    = 64
+)
+
+// resolvedPolicy returns the effective batch policy: an explicit Policy
+// wins, the legacy BatchLen shorthand comes second, and the BatchAuto
+// default resolves to exact stepping below ExactMaxN agents and the
+// adaptive controller above.
+func (e *CountsEngine[S]) resolvedPolicy() BatchPolicy {
+	p := e.Policy
+	if p.Mode == BatchAuto {
+		switch {
+		case e.BatchLen != 0:
+			return BatchPolicy{Mode: BatchFixed, Len: e.BatchLen}
+		case e.n < ExactMaxN:
+			return BatchPolicy{Mode: BatchExact}
+		case e.n <= AutoAdaptiveMaxN:
+			p = BatchPolicy{Mode: BatchAdaptive, Eps: p.Eps}
+		default:
+			// Beyond the adaptive tier, auto prefers throughput: fixed
+			// n/8 batches also hold marginal phase clocks together (see
+			// AutoAdaptiveMaxN).
+			p = BatchPolicy{Mode: BatchFixed}
+		}
+	}
+	if p.Mode == BatchFixed && p.Len == 0 {
+		p.Len = e.BatchLen
+		if p.Len == 0 {
+			p.Len = uint64(e.n) / 8
+		}
+	}
+	if p.Mode == BatchAdaptive && p.Eps <= 0 {
+		p.Eps = DefaultBatchEps
+	}
+	return p
+}
+
+// nextAdvance returns the length of the next scheduling unit, at most
+// `remaining`, and whether it must be executed as exact per-interaction
+// steps instead of one aggregated batch. Batches never cross the next
+// probe boundary and never exceed n/2 (a batch cannot involve more than n
+// distinct agents).
+func (e *CountsEngine[S]) nextAdvance(remaining uint64) (uint64, bool) {
+	p := e.resolvedPolicy()
+	var l uint64
+	exact := false
+	switch p.Mode {
+	case BatchExact:
+		// Exact chunks are bounded only by the caller's budget; Step
+		// handles probe cadence itself, and the chunk loop re-checks
+		// stability per changed step.
+		return max(remaining, 1), true
+	case BatchFixed:
+		l = p.Len
+	case BatchAdaptive:
+		if e.adaptLen == 0 {
+			// No drift history yet: start conservatively and let the
+			// geometric growth find the drift bound within a few batches.
+			e.adaptLen = max(adaptiveFloor, uint64(e.n)/4096)
+		}
+		l = e.adaptLen
+		if l < adaptiveFloor {
+			// Drift bound below the floor: step exactly for one floor-sized
+			// chunk (measuring drift over it, so the controller can grow
+			// back into the batched regime).
+			return min(max(adaptiveFloor, 1), max(remaining, 1)), true
 		}
 	}
 	if lim := uint64(e.n) / 2; l > lim {
@@ -420,7 +513,128 @@ func (e *CountsEngine[S]) batchLen(remaining uint64) uint64 {
 	if l < 1 {
 		l = 1
 	}
-	return l
+	if l == 1 {
+		exact = true
+	}
+	return l, exact
+}
+
+// adaptiveOn reports whether the drift-bounded controller governs batch
+// lengths (and therefore whether drift must be measured).
+func (e *CountsEngine[S]) adaptiveOn() bool {
+	return e.resolvedPolicy().Mode == BatchAdaptive
+}
+
+// AdaptiveBatchLen exposes the adaptive controller's current batch-length
+// choice, for diagnostics and tuning (0 until the first batch under an
+// adaptive policy).
+func (e *CountsEngine[S]) AdaptiveBatchLen() uint64 { return e.adaptLen }
+
+// SetBatchPolicy implements BatchConfigurable: it sets Policy, letting
+// callers that hold the type-erased Engine configure batch scheduling
+// without knowing the state type.
+func (e *CountsEngine[S]) SetBatchPolicy(p BatchPolicy) { e.Policy = p }
+
+// updateAdaptive recomputes the controller's next batch length from the
+// realized per-state census drift (deltas, indexed like pops) of the last
+// scheduling unit of l interactions, where pops holds the unit's *starting*
+// counts. The next length is the largest ℓ for which every state's
+// extrapolated drift stays inside its allowance — an ε fraction of the
+// state's count, floored at adaptiveSmallAbs agents for small states —
+// clamped to geometric growth (×adaptiveGrow) on the way up and unclamped
+// on the way down.
+func (e *CountsEngine[S]) updateAdaptive(l uint64, eps float64, ids []int32, deltas func(id int32) int64, pops func(id int32) int64) {
+	if l == 0 {
+		return
+	}
+	bound := math.Inf(1)
+	for _, id := range ids {
+		d := deltas(id)
+		if d < 0 {
+			d = -d
+		}
+		if d == 0 {
+			continue
+		}
+		// Credit a state with the larger of its endpoint counts so states
+		// growing from zero are bounded by where they ended up, not where
+		// they started.
+		c := pops(id)
+		if after := c + deltas(id); after > c {
+			c = after
+		}
+		floor := adaptiveChurnAbs
+		if e.leaderOf[id] {
+			floor = adaptiveSmallAbs
+		}
+		allowed := eps * float64(c)
+		if allowed < floor {
+			allowed = floor
+		}
+		if m := allowed * float64(l) / float64(d); m < bound {
+			bound = m
+		}
+	}
+	next := l * adaptiveGrow
+	if bound < float64(next) {
+		next = uint64(bound)
+	}
+	if lim := uint64(e.n) / 2; next > lim {
+		next = lim
+	}
+	if next < 1 {
+		next = 1
+	}
+	e.adaptLen = next
+}
+
+// exactChunk advances up to l exact interactions. With checkStable it
+// re-evaluates the stability predicate after every census-changing step
+// (Stable is absorbing on census classes, so unchanged steps cannot flip
+// it) and stops at the exact interaction where the protocol stabilizes,
+// returning true. Under the adaptive policy the chunk's census drift is
+// measured against a snapshot so the controller can re-enter the batched
+// regime.
+func (e *CountsEngine[S]) exactChunk(l uint64, checkStable bool) bool {
+	adaptive := e.adaptiveOn()
+	if adaptive {
+		e.snapPop = append(e.snapPop[:0], e.pop...)
+	}
+	converged := false
+	var done uint64
+	for done < l {
+		changed := e.Step()
+		done++
+		if changed && checkStable && e.proto.Stable(e.classCounts) {
+			converged = true
+			break
+		}
+	}
+	if adaptive {
+		snap := e.snapPop
+		eps := e.resolvedPolicy().Eps
+		ids := e.occ[:0]
+		for id := range e.pop {
+			ids = append(ids, int32(id))
+		}
+		e.occ = ids
+		e.updateAdaptive(done, eps,
+			ids,
+			func(id int32) int64 {
+				old := int64(0)
+				if int(id) < len(snap) {
+					old = snap[id]
+				}
+				return e.pop[id] - old
+			},
+			func(id int32) int64 {
+				if int(id) < len(snap) {
+					return snap[id]
+				}
+				return 0
+			})
+	}
+	return converged
 }
 
 // hyperNormalMinVar is the variance threshold above which the batch chains
@@ -577,6 +791,14 @@ func (e *CountsEngine[S]) runBatch(l uint64) {
 		poolTotal -= k
 	}
 
+	// Feed the realized per-state drift to the adaptive controller while
+	// e.pop still holds the batch-start census.
+	if p := e.resolvedPolicy(); p.Mode == BatchAdaptive {
+		e.updateAdaptive(l, p.Eps, e.touched,
+			func(id int32) int64 { return e.diff[id] },
+			func(id int32) int64 { return e.pop[id] })
+	}
+
 	// Commit the staged census changes.
 	for _, id := range e.touched {
 		d := e.diff[id]
@@ -615,13 +837,9 @@ func (e *CountsEngine[S]) Run() Result {
 	}
 	converged := e.proto.Stable(e.classCounts)
 	for !converged && e.step < budget {
-		l := e.batchLen(budget - e.step)
-		if l <= 1 || e.n < 4 {
-			// Identity interactions leave the census alone; Stable is
-			// absorbing on census classes, so only changes can flip it.
-			if e.Step() {
-				converged = e.proto.Stable(e.classCounts)
-			}
+		l, exact := e.nextAdvance(budget - e.step)
+		if exact || e.n < 4 {
+			converged = e.exactChunk(l, true)
 		} else {
 			e.runBatch(l)
 			if e.probes.due(e.step) {
@@ -643,9 +861,9 @@ func (e *CountsEngine[S]) Run() Result {
 func (e *CountsEngine[S]) RunSteps(k uint64) Result {
 	end := e.step + k
 	for e.step < end {
-		l := e.batchLen(end - e.step)
-		if l <= 1 || e.n < 4 {
-			e.Step()
+		l, exact := e.nextAdvance(end - e.step)
+		if exact || e.n < 4 {
+			e.exactChunk(l, false)
 		} else {
 			e.runBatch(l)
 			if e.probes.due(e.step) {

@@ -3,6 +3,7 @@ package sim
 import (
 	"testing"
 
+	"popelect/internal/protocols/gs18"
 	"popelect/internal/rng"
 )
 
@@ -316,5 +317,252 @@ func TestDeltaTabOverflowFallsBackToMap(t *testing.T) {
 	}
 	if total != 5000 {
 		t.Fatalf("census mass %d after mixed table/map simulation, want 5000", total)
+	}
+}
+
+func TestParseBatchPolicy(t *testing.T) {
+	for s, want := range map[string]BatchPolicy{
+		"":         {Mode: BatchAuto},
+		"auto":     {Mode: BatchAuto},
+		"adaptive": {Mode: BatchAdaptive},
+		"exact":    {Mode: BatchExact},
+		"fixed":    {Mode: BatchFixed},
+		"4096":     {Mode: BatchFixed, Len: 4096},
+		" 16 ":     {Mode: BatchFixed, Len: 16},
+	} {
+		got, err := ParseBatchPolicy(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseBatchPolicy(%q) = %+v, %v", s, got, err)
+		}
+	}
+	for _, s := range []string{"fast", "0", "-3", "1.5", "eps"} {
+		if _, err := ParseBatchPolicy(s); err == nil {
+			t.Fatalf("ParseBatchPolicy(%q) must error", s)
+		}
+	}
+}
+
+// TestResolvedPolicy pins the precedence of the batch knobs: an explicit
+// Policy wins, the legacy BatchLen shorthand comes second, and the zero
+// value resolves by population size (exact below ExactMaxN, adaptive with
+// the default ε above).
+func TestResolvedPolicy(t *testing.T) {
+	small := NewCountsEngine[uint32](enumDuel{duel{100}}, rng.New(1))
+	if p := small.resolvedPolicy(); p.Mode != BatchExact {
+		t.Fatalf("auto below ExactMaxN resolved to %+v, want exact", p)
+	}
+	small.BatchLen = 64
+	if p := small.resolvedPolicy(); p.Mode != BatchFixed || p.Len != 64 {
+		t.Fatalf("legacy BatchLen resolved to %+v", p)
+	}
+	small.Policy = BatchPolicy{Mode: BatchAdaptive}
+	if p := small.resolvedPolicy(); p.Mode != BatchAdaptive || p.Eps != DefaultBatchEps {
+		t.Fatalf("explicit adaptive resolved to %+v", p)
+	}
+	small.Policy = BatchPolicy{Mode: BatchAdaptive, Eps: 0.25}
+	if p := small.resolvedPolicy(); p.Eps != 0.25 {
+		t.Fatalf("explicit ε lost: %+v", p)
+	}
+	small.Policy = BatchPolicy{Mode: BatchFixed}
+	if p := small.resolvedPolicy(); p.Mode != BatchFixed || p.Len != 64 {
+		t.Fatalf("fixed without length must fall back to BatchLen: %+v", p)
+	}
+	small.BatchLen = 0
+	if p := small.resolvedPolicy(); p.Mode != BatchFixed || p.Len != 100/8 {
+		t.Fatalf("fixed without any length must default to n/8: %+v", p)
+	}
+
+	big := NewCountsEngine[uint32](enumDuel{duel{ExactMaxN}}, rng.New(1))
+	if p := big.resolvedPolicy(); p.Mode != BatchAdaptive || p.Eps != DefaultBatchEps {
+		t.Fatalf("auto at ExactMaxN resolved to %+v, want adaptive", p)
+	}
+
+	// Beyond the adaptive tier, auto prefers the fixed n/8 throughput (and
+	// phase-clock synchronization) regime.
+	huge := NewCountsEngine[uint32](enumDuel{duel{AutoAdaptiveMaxN + 1}}, rng.New(1))
+	if p := huge.resolvedPolicy(); p.Mode != BatchFixed || p.Len != uint64(AutoAdaptiveMaxN+1)/8 {
+		t.Fatalf("auto above AutoAdaptiveMaxN resolved to %+v, want fixed n/8", p)
+	}
+	huge.Policy = BatchPolicy{Mode: BatchAdaptive}
+	if p := huge.resolvedPolicy(); p.Mode != BatchAdaptive {
+		t.Fatalf("explicit adaptive above AutoAdaptiveMaxN must stick: %+v", p)
+	}
+}
+
+// TestUpdateAdaptive exercises the drift controller's arithmetic directly:
+// relative bounds on big states, the absolute floor on small ones,
+// geometric growth through quiescent batches, and the n/2 cap.
+func TestUpdateAdaptive(t *testing.T) {
+	e := NewCountsEngine[uint32](enumDuel{duel{1 << 20}}, rng.New(1))
+	e.Policy = BatchPolicy{Mode: BatchAdaptive, Eps: 0.1}
+
+	mk := func(deltas, pops map[int32]int64) (ids []int32, d, p func(int32) int64) {
+		for id := range pops {
+			ids = append(ids, id)
+		}
+		return ids, func(id int32) int64 { return deltas[id] }, func(id int32) int64 { return pops[id] }
+	}
+
+	// Big state: count 10000, realized drift 200 over l=1000 → allowed
+	// 0.1·10000 = 1000 → bound = 1000·1000/200 = 5000, above 2·l, so
+	// growth clamps to 2000.
+	ids, d, p := mk(map[int32]int64{0: 200}, map[int32]int64{0: 10000})
+	e.updateAdaptive(1000, 0.1, ids, d, p)
+	if e.adaptLen != 2000 {
+		t.Fatalf("growth-clamped bound: adaptLen = %d, want 2000", e.adaptLen)
+	}
+
+	// A shrinking state is bounded by its starting count: drift −800 per
+	// 1000 with allowed 0.1·10000 = 1000 → bound 1000·1000/800 = 1250,
+	// between l and 2l, so the bound itself is taken.
+	ids, d, p = mk(map[int32]int64{0: -800}, map[int32]int64{0: 10000})
+	e.updateAdaptive(1000, 0.1, ids, d, p)
+	if e.adaptLen != 1250 {
+		t.Fatalf("bound between l and 2l: adaptLen = %d, want 1250", e.adaptLen)
+	}
+
+	// Violent drift shrinks without a clamp: drift −5000 over 1000 with
+	// allowed 1000 → bound 200.
+	ids, d, p = mk(map[int32]int64{0: -5000}, map[int32]int64{0: 10000})
+	e.updateAdaptive(1000, 0.1, ids, d, p)
+	if e.adaptLen != 200 {
+		t.Fatalf("shrink: adaptLen = %d, want 200", e.adaptLen)
+	}
+
+	// Small state: count 3, drift −3 over 1000 → the absolute allowance (4
+	// agents) governs: bound = 4·1000/3 = 1333.
+	ids, d, p = mk(map[int32]int64{0: -3}, map[int32]int64{0: 3})
+	e.updateAdaptive(1000, 0.1, ids, d, p)
+	if e.adaptLen != 1333 {
+		t.Fatalf("small-state floor: adaptLen = %d, want 1333", e.adaptLen)
+	}
+
+	// A state growing from zero is credited with its end count: delta 500
+	// from pop 0 → c = 500, allowed 50 → bound 100.
+	ids, d, p = mk(map[int32]int64{0: 500}, map[int32]int64{0: 0})
+	e.updateAdaptive(1000, 0.1, ids, d, p)
+	if e.adaptLen != 100 {
+		t.Fatalf("growing-from-zero credit: adaptLen = %d, want 100", e.adaptLen)
+	}
+
+	// Quiescent batch: no drift at all → pure geometric growth, capped at
+	// n/2.
+	ids, d, p = mk(nil, map[int32]int64{0: 10000})
+	e.updateAdaptive(1000, 0.1, ids, d, p)
+	if e.adaptLen != 2000 {
+		t.Fatalf("quiescent growth: adaptLen = %d, want 2000", e.adaptLen)
+	}
+	e.updateAdaptive(uint64(e.n), 0.1, ids, d, p)
+	if e.adaptLen != uint64(e.n)/2 {
+		t.Fatalf("cap: adaptLen = %d, want n/2 = %d", e.adaptLen, e.n/2)
+	}
+}
+
+// TestCountsAdaptiveConverges runs GS18 under the explicit adaptive policy
+// in the batched regime: it must elect exactly one leader, and the
+// controller must actually reach batched lengths (not degenerate to exact
+// stepping).
+func TestCountsAdaptiveConverges(t *testing.T) {
+	pr := gs18.MustNew(gs18.DefaultParams(1 << 14))
+	e := NewCountsEngine[uint32](pr, rng.New(31))
+	e.Policy = BatchPolicy{Mode: BatchAdaptive}
+	res := e.Run()
+	if !res.Converged || res.Leaders != 1 {
+		t.Fatalf("adaptive run failed to elect: %+v", res)
+	}
+	if e.adaptLen < adaptiveFloor {
+		t.Fatalf("controller ended below the batching floor: adaptLen = %d", e.adaptLen)
+	}
+}
+
+// TestCountsAdaptiveRecoversFromExactFallback pins the controller's return
+// path: forced below the batching floor it steps exactly, measures drift
+// over the chunk, and grows back into the batched regime when the
+// population is quiescent.
+func TestCountsAdaptiveRecoversFromExactFallback(t *testing.T) {
+	// skewInit with x=n is immediately quiescent: every interaction is an
+	// identity transition, so measured drift is zero and the controller
+	// must grow geometrically from the forced floor.
+	e := NewCountsEngine[uint32](skewInit{n: 1 << 18, x: 1 << 18}, rng.New(3))
+	e.Policy = BatchPolicy{Mode: BatchAdaptive}
+	e.adaptLen = 1 // force the exact fallback
+	e.RunSteps(10 * adaptiveFloor)
+	if e.adaptLen < 2*adaptiveFloor {
+		t.Fatalf("controller did not grow out of the exact fallback: adaptLen = %d", e.adaptLen)
+	}
+	if e.Steps() != 10*adaptiveFloor {
+		t.Fatalf("RunSteps advanced %d steps, want %d", e.Steps(), 10*adaptiveFloor)
+	}
+}
+
+// TestCountsExactRunStopsAtStabilization pins the exact-mode loop contract
+// (the audited satellite): Run detects stability at the exact interaction
+// where it happens — not at a chunk boundary — and a probe at interval 1
+// observes every step from 1 to the stabilization step exactly once.
+func TestCountsExactRunStopsAtStabilization(t *testing.T) {
+	e := NewCountsEngine[uint32](enumDuel{duel{200}}, rng.New(13))
+	var fires []uint64
+	e.AddProbe(func(step uint64, v CensusView[uint32]) {
+		fires = append(fires, step)
+	}, 1)
+	res := e.Run()
+	if !res.Converged || res.Leaders != 1 {
+		t.Fatalf("%+v", res)
+	}
+	if uint64(len(fires)) != res.Interactions {
+		t.Fatalf("probe at interval 1 fired %d times over %d interactions", len(fires), res.Interactions)
+	}
+	for i, s := range fires {
+		if s != uint64(i+1) {
+			t.Fatalf("fire %d at step %d, want %d", i, s, i+1)
+		}
+	}
+	// Replaying the run one step at a time must find the census unstable at
+	// every interaction before the recorded stabilization point: stability
+	// really was detected at the first stable step.
+	e2 := NewCountsEngine[uint32](enumDuel{duel{200}}, rng.New(13))
+	for e2.Steps() < res.Interactions-1 {
+		e2.Step()
+		if e2.proto.Stable(e2.classCounts) {
+			t.Fatalf("census stable at step %d, but Run reported %d", e2.Steps(), res.Interactions)
+		}
+	}
+}
+
+// TestCountsRunOnStableStartFiresFinalOnce: a Run on an already-stable
+// configuration advances nothing and delivers exactly one probe sample (the
+// final fire at step 0).
+func TestCountsRunOnStableStartFiresFinalOnce(t *testing.T) {
+	e := NewCountsEngine[uint32](skewInit{n: 500, x: 500}, rng.New(1))
+	var fires []uint64
+	e.AddProbe(func(step uint64, v CensusView[uint32]) {
+		fires = append(fires, step)
+	}, 1)
+	res := e.Run()
+	if !res.Converged || res.Interactions != 0 {
+		t.Fatalf("%+v", res)
+	}
+	if len(fires) != 1 || fires[0] != 0 {
+		t.Fatalf("final-only fire expected at step 0, got %v", fires)
+	}
+}
+
+// TestCountsExactRunStepsProbeCadence covers the exact-mode probe path
+// (below ExactMaxN) under RunSteps: fires at exact interval multiples, no
+// end-of-run fire (RunSteps has no final fire).
+func TestCountsExactRunStepsProbeCadence(t *testing.T) {
+	e := NewCountsEngine[uint32](enumDuel{duel{1000}}, rng.New(7))
+	var fires []uint64
+	e.AddProbe(func(step uint64, v CensusView[uint32]) {
+		fires = append(fires, step)
+	}, 100)
+	e.RunSteps(1050)
+	if len(fires) != 10 {
+		t.Fatalf("probe fired %d times over 1050 exact steps at interval 100: %v", len(fires), fires)
+	}
+	for i, s := range fires {
+		if s != uint64(i+1)*100 {
+			t.Fatalf("fire %d at step %d, want %d", i, s, (i+1)*100)
+		}
 	}
 }

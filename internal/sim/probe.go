@@ -92,6 +92,14 @@ type probeEntry[S comparable] struct {
 	fn    Probe[S]
 	every uint64 // 0 = final-only
 	next  uint64 // next due step; noProbe when final-only
+
+	// lastFired tracks the entry's most recent periodic fire (valid when
+	// hasFired), so the end-of-Run final fire can skip entries that
+	// already observed the final step — a budget that is an exact
+	// multiple of the interval must yield one sample at that step, not
+	// two.
+	lastFired uint64
+	hasFired  bool
 }
 
 // probeSet schedules a collection of probes over one engine. The zero
@@ -130,6 +138,7 @@ func (ps *probeSet[S]) rebase(now uint64) {
 		if ps.entries[i].every > 0 {
 			ps.entries[i].next = nextMultiple(now, ps.entries[i].every)
 		}
+		ps.entries[i].hasFired = false
 	}
 	ps.recompute()
 }
@@ -162,16 +171,26 @@ func (ps *probeSet[S]) fire(step uint64, view CensusView[S]) {
 		if ps.entries[i].next == step {
 			ps.entries[i].fn(step, view)
 			ps.entries[i].next = nextMultiple(step, ps.entries[i].every)
+			ps.entries[i].lastFired = step
+			ps.entries[i].hasFired = true
 		}
 	}
 	ps.recompute()
 }
 
 // fireFinal invokes every entry once with the final snapshot of a Run,
-// mirroring the dense observer contract ("once more at the end of Run").
-// Schedules are not advanced: a later Run continues the cadence.
+// mirroring the dense observer contract ("once more at the end of Run") —
+// except for entries whose periodic schedule already fired at exactly this
+// step (a run ending on a cadence boundary), which would otherwise record
+// a duplicate sample. Schedules are not advanced: a later Run continues
+// the cadence.
 func (ps *probeSet[S]) fireFinal(step uint64, view CensusView[S]) {
 	for i := range ps.entries {
+		if ps.entries[i].hasFired && ps.entries[i].lastFired == step {
+			continue
+		}
 		ps.entries[i].fn(step, view)
+		ps.entries[i].lastFired = step
+		ps.entries[i].hasFired = true
 	}
 }

@@ -188,3 +188,97 @@ func TestEngineCensusOnDemand(t *testing.T) {
 		t.Fatal("AddProbe with the wrong state type must error")
 	}
 }
+
+// TestFinalFireNotDuplicatedAtBoundary is the budget-boundary contract on
+// both backends: when Run's budget is an exact multiple of the probe
+// interval, the probe's periodic fire at the final step already observed
+// it, and the end-of-Run final fire must not deliver a second sample at
+// the same step.
+func TestFinalFireNotDuplicatedAtBoundary(t *testing.T) {
+	const n = 500
+	const every = 250
+	const budget = 1000 // far below GS18 stabilization at n=500
+	pr := gs18.MustNew(gs18.DefaultParams(n))
+	for _, backend := range []sim.Backend{sim.BackendDense, sim.BackendCounts} {
+		eng, err := sim.NewEngine[uint32, *gs18.Protocol](pr, rng.New(5), backend)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.SetBudget(budget)
+		var fires []uint64
+		if err := sim.AddProbe[uint32](eng, func(step uint64, v sim.CensusView[uint32]) {
+			fires = append(fires, step)
+		}, every); err != nil {
+			t.Fatal(err)
+		}
+		res := eng.Run()
+		if res.Converged {
+			t.Fatalf("%s: GS18 cannot stabilize in %d interactions at n=%d", backend, budget, n)
+		}
+		want := []uint64{250, 500, 750, 1000}
+		if len(fires) != len(want) {
+			t.Fatalf("%s: %d fires %v, want %v (exactly one sample at the final step)",
+				backend, len(fires), fires, want)
+		}
+		for i, s := range fires {
+			if s != want[i] {
+				t.Fatalf("%s: fire %d at step %d, want %d", backend, i, s, want[i])
+			}
+		}
+	}
+}
+
+// TestFinalFireNotDuplicatedAtBoundaryBatched is the same contract inside
+// the counts backend's batched regime, where the final step is reached by
+// a probe-boundary batch split rather than an exact step.
+func TestFinalFireNotDuplicatedAtBoundaryBatched(t *testing.T) {
+	pr := gs18.MustNew(gs18.DefaultParams(1 << 14))
+	e := sim.NewCountsEngine[uint32](pr, rng.New(11))
+	e.BatchLen = 1 << 11
+	e.SetBudget(6000) // 6 × the 1000-interval: budget is an exact multiple
+	var fires []uint64
+	e.AddProbe(func(step uint64, v sim.CensusView[uint32]) {
+		fires = append(fires, step)
+	}, 1000)
+	res := e.Run()
+	if res.Converged {
+		t.Fatalf("GS18 cannot stabilize in 6000 interactions at n=2^14: %+v", res)
+	}
+	if len(fires) != 6 {
+		t.Fatalf("%d fires %v, want 6 with exactly one at step 6000", len(fires), fires)
+	}
+	for i, s := range fires {
+		if s != uint64(i+1)*1000 {
+			t.Fatalf("fire %d at step %d, want %d", i, s, (i+1)*1000)
+		}
+	}
+}
+
+// TestFinalFireStillDeliveredOffBoundary guards the other side of the
+// dedup: a run ending off the probe cadence must still get its final fire.
+func TestFinalFireStillDeliveredOffBoundary(t *testing.T) {
+	pr := gs18.MustNew(gs18.DefaultParams(500))
+	for _, backend := range []sim.Backend{sim.BackendDense, sim.BackendCounts} {
+		eng, err := sim.NewEngine[uint32, *gs18.Protocol](pr, rng.New(5), backend)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.SetBudget(1100) // not a multiple of 250
+		var fires []uint64
+		if err := sim.AddProbe[uint32](eng, func(step uint64, v sim.CensusView[uint32]) {
+			fires = append(fires, step)
+		}, 250); err != nil {
+			t.Fatal(err)
+		}
+		eng.Run()
+		want := []uint64{250, 500, 750, 1000, 1100}
+		if len(fires) != len(want) {
+			t.Fatalf("%s: fires %v, want %v", backend, fires, want)
+		}
+		for i, s := range fires {
+			if s != want[i] {
+				t.Fatalf("%s: fire %d at step %d, want %d", backend, i, s, want[i])
+			}
+		}
+	}
+}

@@ -34,8 +34,14 @@ type TrialConfig struct {
 	// BackendAuto falls back to dense in that case.
 	Backend Backend
 
-	// BatchLen overrides the counts backend's batch length; see
-	// CountsEngine.BatchLen. Ignored by the dense backend.
+	// Batch selects the counts backend's batch scheduling policy (fixed
+	// length, adaptive drift bound, or exact stepping); the zero value is
+	// BatchAuto. Ignored by the dense backend. See BatchPolicy.
+	Batch BatchPolicy
+
+	// BatchLen is the legacy fixed-batch shorthand, honored when Batch is
+	// left at its zero value; see CountsEngine.BatchLen. Ignored by the
+	// dense backend.
 	BatchLen uint64
 }
 
@@ -139,6 +145,7 @@ func newTrialEngine[S comparable, P Protocol[S]](proto P, src *rng.Source, cfg T
 	case *Runner[S, P]:
 		e.TrackStates = cfg.TrackStates
 	case *CountsEngine[S]:
+		e.Policy = cfg.Batch
 		e.BatchLen = cfg.BatchLen
 	}
 	return eng

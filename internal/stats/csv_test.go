@@ -1,0 +1,34 @@
+package stats
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteTableCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteTableCSV(&buf,
+		[]string{"policy", "value"},
+		[][]string{
+			{"fixed n/8", "1.5"},
+			{`quoted "x", y`, "2"},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 || lines[0] != "policy,value" {
+		t.Fatalf("unexpected CSV:\n%s", buf.String())
+	}
+	if lines[2] != `"quoted ""x"", y",2` {
+		t.Fatalf("quoting broken: %q", lines[2])
+	}
+
+	if err := WriteTableCSV(&buf, []string{"a"}, [][]string{{"1", "2"}}); err == nil {
+		t.Fatal("row arity mismatch must error")
+	}
+	if err := WriteTableCSV(&buf, nil, nil); err == nil {
+		t.Fatal("empty header must error")
+	}
+}

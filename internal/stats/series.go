@@ -51,10 +51,16 @@ func NewSeries(name string, maxPoints int) *Series {
 }
 
 // Add appends a sample. Steps must be nondecreasing; a sample with the
-// same step as the previous one is ignored (probes fire both at a cadence
-// boundary and once at the end of a run, which can coincide).
+// same step as the previous one replaces its value instead of appending a
+// duplicate point (probes can fire both at a cadence boundary and once at
+// the end of a run, which can coincide — duplicate steps would break the
+// step-grid interpolation downstream).
 func (s *Series) Add(step uint64, v float64) {
 	if s.hasLast && step == s.lastStep {
+		s.lastVal = v
+		if n := len(s.steps); n > 0 && s.steps[n-1] == step {
+			s.vals[n-1] = v
+		}
 		return
 	}
 	s.lastStep, s.lastVal, s.hasLast = step, v, true
@@ -345,6 +351,12 @@ func sampleAt(steps []uint64, vals []float64, step uint64) float64 {
 		return vals[lo]
 	}
 	s0, s1 := steps[lo-1], steps[lo]
+	if s1 == s0 {
+		// Duplicate-step points (impossible through Series.Add, which
+		// dedupes, but cheap to guard): take the later sample rather than
+		// dividing by zero.
+		return vals[lo]
+	}
 	frac := float64(step-s0) / float64(s1-s0)
 	return vals[lo-1]*(1-frac) + vals[lo]*frac
 }

@@ -3,6 +3,7 @@ package stats
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"strings"
 	"testing"
 )
@@ -56,9 +57,9 @@ func TestSeriesDownsamplesAtFixedMemory(t *testing.T) {
 func TestSeriesIgnoresDuplicateStep(t *testing.T) {
 	s := NewSeries("x", 8)
 	s.Add(10, 1)
-	s.Add(10, 2) // probe boundary + final fire coincide
+	s.Add(10, 2) // probe boundary + final fire coincide: one point, latest value
 	steps, vals := s.Points()
-	if len(steps) != 1 || vals[0] != 1 {
+	if len(steps) != 1 || vals[0] != 2 {
 		t.Fatalf("duplicate step handling broken: %v %v", steps, vals)
 	}
 }
@@ -187,5 +188,55 @@ func TestAggregateOnGridEmpty(t *testing.T) {
 	}
 	if g := AggregateOnGrid([]*Series{NewSeries("x", 8)}, 10); len(g.Steps) != 0 {
 		t.Fatal("all-empty series must yield empty summary")
+	}
+}
+
+// TestSeriesDuplicateStepDeduped is the duplicate-step regression: a
+// sample offered at the step already recorded must not append a second
+// point (it replaces the value), so downstream grid interpolation never
+// sees a zero-width segment.
+func TestSeriesDuplicateStepDeduped(t *testing.T) {
+	s := NewSeries("x", 0)
+	s.Add(0, 1)
+	s.Add(100, 2)
+	s.Add(100, 3) // duplicate step: probe cadence fire + end-of-run fire coinciding
+	steps, vals := s.Points()
+	if len(steps) != 2 {
+		t.Fatalf("duplicate step appended: steps = %v", steps)
+	}
+	for i := 1; i < len(steps); i++ {
+		if steps[i] == steps[i-1] {
+			t.Fatalf("retained duplicate step %d: %v", steps[i], steps)
+		}
+	}
+	if vals[1] != 3 {
+		t.Fatalf("duplicate step must keep the latest value, got %v", vals)
+	}
+	if _, v, _ := s.Last(); v != 3 {
+		t.Fatalf("Last() = %v, want the latest duplicate value 3", v)
+	}
+
+	// And the aggregation over such a series stays finite.
+	g := AggregateOnGrid([]*Series{s}, 5)
+	for i, m := range g.Mean {
+		if math.IsNaN(m) || math.IsInf(m, 0) {
+			t.Fatalf("grid point %d is %v (division by a zero-width segment?)", i, m)
+		}
+	}
+}
+
+// TestSampleAtDuplicateStepPair guards the interpolation itself against
+// hand-built duplicate-step inputs: no NaN, later sample wins.
+func TestSampleAtDuplicateStepPair(t *testing.T) {
+	steps := []uint64{0, 50, 50, 100}
+	vals := []float64{0, 1, 5, 10}
+	got := sampleAt(steps, vals, 50)
+	if math.IsNaN(got) {
+		t.Fatal("sampleAt returned NaN on a duplicate-step pair")
+	}
+	for _, step := range []uint64{25, 50, 75} {
+		if v := sampleAt(steps, vals, step); math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("sampleAt(%d) = %v", step, v)
+		}
 	}
 }

@@ -91,6 +91,8 @@ type options struct {
 	psi           int
 	trackStates   bool
 	backend       string
+	batch         string
+	batchEps      float64
 	timelineEvery uint64
 }
 
@@ -120,6 +122,22 @@ func WithStateTracking() Option { return func(o *options) { o.trackStates = true
 // of 10⁸–10⁹ agents; Result.LeaderID is -1 because agents are anonymous),
 // or "auto" (counts for large enumerable protocols, dense otherwise).
 func WithBackend(backend string) Option { return func(o *options) { o.backend = backend } }
+
+// WithBatchPolicy selects the counts backend's batch scheduling policy:
+// "auto" (the default: exact below 2¹⁷ agents, drift-bounded adaptive
+// batching up to 2²², fixed n/8 batches beyond), "adaptive", "exact", or
+// a positive integer fixing the batch length (fast but biases
+// stabilization times upward and artificially synchronizes phase clocks —
+// see sim.BatchPolicy). The dense backend ignores it. See also
+// WithBatchEps.
+func WithBatchPolicy(policy string) Option { return func(o *options) { o.batch = policy } }
+
+// WithBatchEps tunes the adaptive batch controller's drift bound ε — the
+// maximum fraction by which any state's expected census count may move
+// during one aggregated batch (0 keeps the default). Smaller ε tracks the
+// sequential scheduler more closely at proportionally lower throughput.
+// Only meaningful with the counts backend under an adaptive batch policy.
+func WithBatchEps(eps float64) Option { return func(o *options) { o.batchEps = eps } }
 
 // WithCensusTimeline records a census sample (leader count, occupied
 // states) every interval interactions into Result.Timeline, plus the
@@ -204,6 +222,16 @@ func run[S comparable, P sim.Protocol[S]](pr P, o options) (Result, error) {
 	eng, err := sim.NewEngine[S, P](pr, rng.New(o.seed), backend)
 	if err != nil {
 		return Result{}, fmt.Errorf("popelect: %w", err)
+	}
+	if o.batch != "" || o.batchEps != 0 {
+		policy, err := sim.ParseBatchPolicy(o.batch)
+		if err != nil {
+			return Result{}, fmt.Errorf("popelect: %w", err)
+		}
+		policy.Eps = o.batchEps
+		if ce, ok := eng.(sim.BatchConfigurable); ok {
+			ce.SetBatchPolicy(policy)
+		}
 	}
 	eng.SetBudget(o.budget)
 	if st, ok := eng.(sim.StateTracker); ok {

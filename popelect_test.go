@@ -168,3 +168,26 @@ func TestElectTimelineOffByDefault(t *testing.T) {
 		t.Fatal("timeline must be nil without WithCensusTimeline")
 	}
 }
+
+// TestElectWithBatchPolicy exercises the batch-policy options end to end:
+// every valid policy elects a unique leader on the counts backend, a fixed
+// batch length is honored, and a bad policy spec surfaces as an error.
+func TestElectWithBatchPolicy(t *testing.T) {
+	for _, policy := range []string{"auto", "adaptive", "exact", "512"} {
+		res, err := ElectWith(GS18, 2000, WithSeed(3), WithBackend("counts"),
+			WithBatchPolicy(policy), WithBatchEps(0.1))
+		if err != nil {
+			t.Fatalf("policy %q: %v", policy, err)
+		}
+		if res.Interactions == 0 {
+			t.Fatalf("policy %q: %+v", policy, res)
+		}
+	}
+	if _, err := Elect(100, WithBackend("counts"), WithBatchPolicy("warp")); err == nil {
+		t.Fatal("bad batch policy must error")
+	}
+	// The dense backend ignores batch policies rather than erroring.
+	if _, err := Elect(512, WithSeed(1), WithBatchPolicy("adaptive")); err != nil {
+		t.Fatalf("dense backend must ignore batch policies: %v", err)
+	}
+}
