@@ -195,7 +195,8 @@ func BenchmarkLemma73FinalRounds(b *testing.B) {
 			b.Fatalf("%+v", res)
 		}
 		if entry > 0 {
-			// Rounds cost ≈ 7.5·n·ln n at Γ=36 (Theorem 3.2 bench).
+			// Rounds cost ≈ 7.5·n·ln n at the small-n Γ = 36 (Theorem 3.2
+			// bench; benchN is far below the derived-Γ growth regime).
 			rounds = append(rounds, float64(res.Interactions-entry)/(7.5*nln))
 		}
 	}
@@ -208,7 +209,7 @@ func BenchmarkLemma73FinalRounds(b *testing.B) {
 
 func BenchmarkThm32Clock(b *testing.B) {
 	junta := int(math.Pow(float64(benchN), 0.7))
-	c, err := phaseclock.NewStandalone(benchN, 36, junta)
+	c, err := phaseclock.NewStandalone(benchN, phaseclock.DefaultGamma(benchN), junta)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -350,6 +351,50 @@ func BenchmarkBackendCountsFixedMillion(b *testing.B) {
 	benchBackend(b, 1<<20, sim.BackendCounts, 1<<17)
 }
 
+// --- Clock-span regression (runs in CI's bench-smoke job) ---
+
+// BenchmarkClockSpanGS18Adaptive is the clock-health regression the CI
+// bench-smoke job executes: a full GS18 election at n = 2²⁰ on the counts
+// backend under the faithful adaptive batch policy, with a census probe
+// measuring the bulk (99%-mass) phase span each parallel-time unit. It
+// fails outright if the span reaches the derived Γ's wrap window Γ/2 —
+// the PR 3 tearing signature — and reports the measured maximum as a
+// metric so the margin stays visible in bench logs.
+func BenchmarkClockSpanGS18Adaptive(b *testing.B) {
+	n := 1 << 20
+	pr := gs18.MustNew(gs18.DefaultParams(n))
+	gamma := phaseclock.DefaultGamma(n)
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		eng, err := sim.NewEngine[uint32, *gs18.Protocol](pr, rng.New(uint64(i)+1), sim.BackendCounts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng.(*sim.CountsEngine[uint32]).SetBatchPolicy(sim.BatchPolicy{Mode: sim.BatchAdaptive})
+		meter := phaseclock.NewSpanMeter(gamma)
+		if err := sim.AddProbe[uint32](eng, func(step uint64, v sim.CensusView[uint32]) {
+			meter.Begin()
+			v.VisitStates(func(s uint32, count int64) { meter.Add(uint8(s&0xff), count) })
+			meter.End()
+		}, uint64(n)); err != nil {
+			b.Fatal(err)
+		}
+		res := eng.Run()
+		if !res.Converged || res.Leaders != 1 {
+			b.Fatalf("iteration %d: %+v", i, res)
+		}
+		if meter.MaxBulk() >= gamma/2 {
+			b.Fatalf("iteration %d: bulk phase span %d reached Γ/2 = %d (Γ=%d): tearing signature",
+				i, meter.MaxBulk(), gamma/2, gamma)
+		}
+		if float64(meter.MaxBulk()) > worst {
+			worst = float64(meter.MaxBulk())
+		}
+	}
+	b.ReportMetric(worst, "max-bulk-span")
+	b.ReportMetric(float64(gamma)/2, "gamma/2")
+}
+
 // --- Probe overhead on the counts backend ---
 
 // benchCountsProbe runs one full GS18 election per iteration on the counts
@@ -358,6 +403,10 @@ func BenchmarkBackendCountsFixedMillion(b *testing.B) {
 // probed runs quantifies what probing costs: the probe body is O(occupied
 // states) per fire, and any interval that does not divide the batch length
 // forces batch splits at probe boundaries (see CountsEngine.AddProbe).
+// Every variant pins the n/8 fixed-batch policy the recorded overhead
+// numbers were measured under: auto now resolves to adaptive throughout
+// these sizes, which schedules its own batch lengths and would conflate
+// policy choice with probe cost.
 func benchCountsProbe(b *testing.B, n int, every uint64) {
 	b.Helper()
 	pr := gs18.MustNew(gs18.DefaultParams(n))
@@ -368,6 +417,7 @@ func benchCountsProbe(b *testing.B, n int, every uint64) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		eng.(*sim.CountsEngine[uint32]).SetBatchPolicy(sim.BatchPolicy{Mode: sim.BatchFixed})
 		if every > 0 {
 			if err := sim.AddProbe[uint32](eng, func(step uint64, v sim.CensusView[uint32]) {
 				sink += v.Leaders() + v.Occupied()
@@ -388,7 +438,7 @@ func benchCountsProbe(b *testing.B, n int, every uint64) {
 // The three cadences of the probe-overhead contract: no probe (baseline),
 // one probe per parallel-time unit (interval n — the scalefigures cadence,
 // which the acceptance bound holds at), and a dense-observer-style fine
-// cadence (interval n/64, forcing every default n/8 batch to split 8-fold).
+// cadence (interval n/64, forcing every fixed n/8 batch to split 8-fold).
 func BenchmarkCountsProbeFree(b *testing.B)      { benchCountsProbe(b, 1<<20, 0) }
 func BenchmarkCountsProbeIntervalN(b *testing.B) { benchCountsProbe(b, 1<<20, 1<<20) }
 func BenchmarkCountsProbeDenseCadence(b *testing.B) {

@@ -34,7 +34,7 @@ func main() {
 		n        = flag.Int("n", 10000, "population size")
 		alg      = flag.String("alg", "gsu19", "algorithm: gsu19, gs18, lottery, slow")
 		seed     = flag.Uint64("seed", 1, "PRNG seed")
-		gamma    = flag.Int("gamma", 0, "phase clock resolution Γ (0 = default)")
+		gamma    = flag.Int("gamma", 0, "phase clock resolution Γ (0 = derived Γ(n): next even ≥ 2·log₂ n, floor 36)")
 		phi      = flag.Int("phi", 0, "coin level cap Φ (0 = default)")
 		psi      = flag.Int("psi", 0, "drag range Ψ (0 = default)")
 		trials   = flag.Int("trials", 1, "number of independent runs")

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"popelect/internal/experiments"
+	"popelect/internal/phaseclock"
 	"popelect/internal/sim"
 )
 
@@ -38,8 +39,9 @@ func main() {
 		backend  = flag.String("backend", "dense", "simulation backend for trial-based experiments: dense, counts or auto")
 		batch    = flag.String("batch", "auto", "counts-backend batch policy: auto, adaptive, exact, or a fixed batch length")
 		batchEps = flag.Float64("batch-eps", 0, "adaptive batch controller drift bound ε (0 = default)")
+		gamma    = flag.Int("gamma", 0, "phase-clock resolution Γ override for every clock-carrying protocol (0 = derived Γ(n))")
 		probe    = flag.Uint64("probe-interval", 0, "census-probe cadence for trajectory experiments, in interactions (0 = per-experiment default)")
-		sdir     = flag.String("series-dir", "", "directory where trajectory experiments (scalefigures, biassweep) write CSV files (empty = no files)")
+		sdir     = flag.String("series-dir", "", "directory where recording experiments (scalefigures, biassweep, clockspan) write CSV files (empty = no files)")
 	)
 	flag.Parse()
 
@@ -86,6 +88,13 @@ func main() {
 	cfg.Batch = bp
 	cfg.ProbeInterval = *probe
 	cfg.SeriesDir = *sdir
+	if *gamma != 0 {
+		if err := phaseclock.Validate(*gamma); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(2)
+		}
+		cfg.Gamma = *gamma
+	}
 
 	var ids []string
 	if *exp == "all" {

@@ -18,9 +18,11 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"slices"
 	"text/tabwriter"
 
 	"popelect/internal/core"
+	"popelect/internal/phaseclock"
 	"popelect/internal/sim"
 	"popelect/internal/stats"
 )
@@ -34,6 +36,7 @@ func main() {
 		backend  = flag.String("backend", "dense", "simulation backend: dense, counts or auto")
 		batch    = flag.String("batch", "auto", "counts-backend batch policy: auto, adaptive, exact, or a fixed batch length")
 		batchEps = flag.Float64("batch-eps", 0, "adaptive batch controller drift bound ε (0 = default)")
+		gamma    = flag.Int("gamma", 0, "phase-clock resolution Γ override while sweeping phi/psi (0 = derived Γ(n); ignored by -what gamma)")
 		probe    = flag.Uint64("probe-interval", 0, "census-probe cadence for trajectory recording (0 = n/4)")
 		sdir     = flag.String("series-dir", "", "write a mean leader-count trajectory CSV per swept value into this directory")
 	)
@@ -55,7 +58,12 @@ func main() {
 	mutate := func(p *core.Params, v int) {}
 	switch *what {
 	case "gamma":
+		// Bracket the derived default Γ(n) with the legacy fixed values.
 		values = []int{16, 24, 36, 48, 64}
+		if d := phaseclock.DefaultGamma(*n); !slices.Contains(values, d) {
+			values = append(values, d)
+			slices.Sort(values)
+		}
 		mutate = func(p *core.Params, v int) { p.Gamma = v }
 	case "phi":
 		values = []int{1, 2, 3, 4}
@@ -81,6 +89,9 @@ func main() {
 	lnn := math.Log(float64(*n))
 	for _, v := range values {
 		params := core.DefaultParams(*n)
+		if *gamma != 0 && *what != "gamma" {
+			params.Gamma = *gamma
+		}
 		mutate(&params, v)
 		pr, err := core.New(params)
 		if err != nil {

@@ -16,10 +16,8 @@ import (
 )
 
 func main() {
-	const (
-		n     = 8192
-		gamma = 36
-	)
+	const n = 8192
+	gamma := phaseclock.DefaultGamma(n) // 36 at this n; grows as 2·log₂ n at scale
 	junta := int(math.Pow(n, 0.7))
 	clock, err := phaseclock.NewStandalone(n, gamma, junta)
 	if err != nil {
@@ -31,7 +29,7 @@ func main() {
 	nln := uint64(float64(n) * math.Log(n))
 	for snapshot := 0; snapshot < 12; snapshot++ {
 		r.RunSteps(nln / 2)
-		var hist [gamma]int
+		hist := make([]int, gamma)
 		minRound, maxRound := math.MaxInt32, 0
 		for _, s := range r.Population() {
 			hist[clock.Phase(s)]++

@@ -34,9 +34,14 @@ type Params struct {
 	// N is the population size (>= 2).
 	N int
 
-	// Gamma is the phase-clock resolution Γ (even, >= 4). The paper only
-	// requires a "suitably large constant"; 36 keeps rounds synchronized
-	// whp at all laptop-reachable n (see the Theorem 3.2 experiment).
+	// Gamma is the phase-clock resolution Γ (even, >= 4, <=
+	// phaseclock.MaxGamma). The paper only requires Γ "suitably large"
+	// relative to the natural ~log n junta-driven phase spread, so
+	// DefaultParams derives it: Γ(n) = phaseclock.DefaultGamma(n), the
+	// next even value ≥ 2·log₂ n floored at the historical 36. A fixed
+	// constant is NOT safe at every scale — at n ≳ 10⁷ the spread crosses
+	// the old Γ=36 wrap window and the clock tears (see the clockspan
+	// experiment and phaseclock.DefaultGamma).
 	Gamma int
 
 	// Phi is the number of asymmetric coin levels Φ. The paper sets
@@ -74,7 +79,7 @@ func DefaultParams(n int) Params {
 	}
 	return Params{
 		N:     n,
-		Gamma: 36,
+		Gamma: phaseclock.DefaultGamma(n),
 		Phi:   junta.DefaultPhi(n),
 		Psi:   psi,
 	}

@@ -1,6 +1,10 @@
 package core
 
-import "testing"
+import (
+	"testing"
+
+	"popelect/internal/phaseclock"
+)
 
 func TestDefaultParamsValid(t *testing.T) {
 	for _, n := range []int{2, 3, 16, 1024, 1 << 20, 1 << 30} {
@@ -11,6 +15,28 @@ func TestDefaultParamsValid(t *testing.T) {
 		if p.N != n {
 			t.Errorf("DefaultParams(%d).N = %d", n, p.N)
 		}
+	}
+}
+
+// TestDefaultParamsValidateHugeN pins the derived-parameter contract far
+// past any simulatable population: Γ(n), Φ(n) and Ψ(n) must stay inside
+// the packed-state layout (phaseclock.MaxGamma, the 4-bit level/drag
+// fields, the 6-bit counter) all the way to n = 10¹².
+func TestDefaultParamsValidateHugeN(t *testing.T) {
+	for n := 10; n <= 1_000_000_000_000; n *= 10 {
+		p := DefaultParams(n)
+		if err := p.Validate(); err != nil {
+			t.Errorf("DefaultParams(%d) invalid: %v", n, err)
+		}
+		if p.Gamma != phaseclock.DefaultGamma(n) {
+			t.Errorf("DefaultParams(%d).Gamma = %d, want derived %d",
+				n, p.Gamma, phaseclock.DefaultGamma(n))
+		}
+	}
+	// The derived Γ must leave the tearing regime behind: at n = 10¹² the
+	// wrap window Γ/2 (= 40) still clears the ~ln n ≈ 27.6 phase spread.
+	if g := DefaultParams(1_000_000_000_000).Gamma; g < 80 {
+		t.Errorf("Γ(10¹²) = %d, want ≥ 80", g)
 	}
 }
 

@@ -48,7 +48,7 @@ func biasPolicies(n int) []struct {
 // written as CSV.
 func BiasSweep(cfg Config) []*Table {
 	n := maxSize(cfg)
-	pr := gs18.MustNew(gs18.DefaultParams(n))
+	pr := gs18.MustNew(gs18Params(cfg, n))
 	factory := func(int) *gs18.Protocol { return pr }
 
 	bias := &Table{
@@ -128,7 +128,7 @@ func biasSweepThroughput(cfg Config) *Table {
 		Title:   fmt.Sprintf("counts batch-policy throughput (GS18, n=%d, %d-interaction slab)", n, slab),
 		Columns: []string{"policy", "interactions", "wall", "Minter/s"},
 	}
-	pr := gs18.MustNew(gs18.DefaultParams(n))
+	pr := gs18.MustNew(gs18Params(cfg, n))
 	var csvRows [][]string
 	for _, p := range biasPolicies(n) {
 		eng, err := sim.NewEngine[uint32, *gs18.Protocol](pr, rng.NewStream(cfg.Seed+47, 0), sim.BackendCounts)

@@ -10,6 +10,10 @@ import (
 	"io"
 	"strings"
 
+	"popelect/internal/core"
+	"popelect/internal/phaseclock"
+	"popelect/internal/protocols/gs18"
+	"popelect/internal/protocols/lottery"
 	"popelect/internal/sim"
 )
 
@@ -42,6 +46,13 @@ type Config struct {
 	// sim.ExactMaxN agents, drift-bounded adaptive batching above). The
 	// dense backend ignores it.
 	Batch sim.BatchPolicy
+
+	// Gamma overrides the phase-clock resolution Γ of every
+	// clock-carrying protocol an experiment builds (0 = the derived
+	// default, phaseclock.DefaultGamma per population size). The
+	// clockspan experiment uses it to reproduce the legacy fixed-Γ
+	// tearing; cmd/paperbench exposes it as -gamma.
+	Gamma int
 
 	// ProbeInterval overrides the census-probe cadence of trajectory
 	// experiments, in interactions (0 = per-experiment default: n/16 for
@@ -168,6 +179,7 @@ func All() []struct {
 		{"scale", Scale},
 		{"scalefigures", ScaleFigures},
 		{"biassweep", BiasSweep},
+		{"clockspan", ClockSpan},
 	}
 }
 
@@ -217,6 +229,66 @@ func censusOf[S comparable](eng sim.Engine) sim.CensusView[S] {
 		panic(err)
 	}
 	return v
+}
+
+// gammaFor returns the phase-clock resolution an experiment should use at
+// population size n: the cfg.Gamma override if set, else the derived
+// default Γ(n).
+func gammaFor(cfg Config, n int) int {
+	if cfg.Gamma != 0 {
+		return cfg.Gamma
+	}
+	return phaseclock.DefaultGamma(n)
+}
+
+// gammaRange renders the Γ actually in effect across cfg.Sizes for table
+// notes: a single value when every size derives (or overrides to) the same
+// Γ, else "lo–hi".
+func gammaRange(cfg Config) string {
+	lo, hi := 0, 0
+	for _, n := range cfg.Sizes {
+		g := gammaFor(cfg, n)
+		if lo == 0 || g < lo {
+			lo = g
+		}
+		if g > hi {
+			hi = g
+		}
+	}
+	if lo == hi {
+		return fmt.Sprintf("Γ=%d", lo)
+	}
+	return fmt.Sprintf("Γ=%d–%d", lo, hi)
+}
+
+// coreParams returns the paper protocol's parameters for n under cfg,
+// honoring the Γ override.
+func coreParams(cfg Config, n int) core.Params {
+	p := core.DefaultParams(n)
+	if cfg.Gamma != 0 {
+		p.Gamma = cfg.Gamma
+	}
+	return p
+}
+
+// gs18Params returns the GS18 baseline's parameters for n under cfg,
+// honoring the Γ override.
+func gs18Params(cfg Config, n int) gs18.Params {
+	p := gs18.DefaultParams(n)
+	if cfg.Gamma != 0 {
+		p.Gamma = cfg.Gamma
+	}
+	return p
+}
+
+// lotteryParams returns the lottery baseline's parameters for n under cfg,
+// honoring the Γ override.
+func lotteryParams(cfg Config, n int) lottery.Params {
+	p := lottery.DefaultParams(n)
+	if cfg.Gamma != 0 {
+		p.Gamma = cfg.Gamma
+	}
+	return p
 }
 
 // probeEvery returns the census-probe cadence for population size n:

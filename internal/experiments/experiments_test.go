@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -37,7 +38,7 @@ func runAndRender(t *testing.T, id string) string {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "fig1", "fig2", "fig3", "lemma41", "lemma53",
 		"lemma71", "lemma73", "thm32", "thm82", "epidemic", "ablation", "scale",
-		"scalefigures", "biassweep"}
+		"scalefigures", "biassweep", "clockspan"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(all), len(want))
@@ -229,6 +230,50 @@ func TestScaleFiguresWritesCSV(t *testing.T) {
 		if len(last) != 3 || last[1] != "1" {
 			t.Fatalf("%s final sample %q does not end at one leader", m, lines[len(lines)-1])
 		}
+	}
+}
+
+// TestClockSpanExperiment smoke-runs the phase-span re-validation: at
+// smoke sizes the derived Γ coincides with the legacy 36 (one row per
+// protocol and size), every run converges inside the span budget, the
+// span cells parse, and the CSV export lands. The span-under-Γ/2 health
+// assertion deliberately lives elsewhere (the n=2²⁰ regression tests in
+// gs18 and phaseclock): at a few hundred agents the junta is a handful of
+// coins and the clock genuinely smears late in the run without slowing
+// the election — small-n noise, not the tearing regime this experiment
+// exists to watch.
+func TestClockSpanExperiment(t *testing.T) {
+	cfg := SmokeConfig()
+	cfg.SeriesDir = t.TempDir()
+	run, ok := Lookup("clockspan")
+	if !ok {
+		t.Fatal("clockspan not registered")
+	}
+	tables := run(cfg)
+	if len(tables) != 1 {
+		t.Fatalf("clockspan produced %d tables", len(tables))
+	}
+	tab := tables[0]
+	if want := 2 * len(cfg.Sizes); len(tab.Rows) != want {
+		t.Fatalf("clockspan has %d rows, want %d (legacy Γ = derived Γ at smoke sizes):\n%v",
+			len(tab.Rows), want, tab.Rows)
+	}
+	for _, row := range tab.Rows {
+		if conv := row[4]; !strings.Contains(conv, "/") || strings.HasPrefix(conv, "0/") {
+			t.Fatalf("row %v: no trial converged (%q)", row, conv)
+		}
+		bulk, err1 := strconv.Atoi(row[7])
+		full, err2 := strconv.Atoi(row[8])
+		if err1 != nil || err2 != nil {
+			t.Fatalf("row %v: unparsable span cells", row)
+		}
+		if bulk < 1 || full < bulk {
+			t.Fatalf("row %v: inconsistent spans bulk=%d full=%d", row, bulk, full)
+		}
+	}
+	matches, err := filepath.Glob(filepath.Join(cfg.SeriesDir, "clockspan.csv"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("clockspan CSV export: %v, %v", matches, err)
 	}
 }
 

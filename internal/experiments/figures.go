@@ -19,7 +19,7 @@ import (
 // the experiment runs on either backend.
 func Figure1(cfg Config) []*Table {
 	n := maxSize(cfg)
-	pr := core.MustNew(core.DefaultParams(n))
+	pr := core.MustNew(coreParams(cfg, n))
 	phi := pr.Params().Phi
 
 	cums := make([][]int, cfg.Trials)
@@ -129,7 +129,7 @@ func runWithStageTracking(pr *core.Protocol, seed uint64, cfg Config) (map[int]s
 // the scheduled biased coin, against the idealized multiply-by-q reduction.
 func Figure2(cfg Config) []*Table {
 	n := maxSize(cfg)
-	pr := core.MustNew(core.DefaultParams(n))
+	pr := core.MustNew(coreParams(cfg, n))
 	p := pr.Params()
 
 	// Collect across trials: actives at entry into each stage.
@@ -182,7 +182,7 @@ func Figure2(cfg Config) []*Table {
 // values, against the Lemma 7.2 law T_ℓ = Θ(4^ℓ · n log n).
 func Figure3(cfg Config) []*Table {
 	n := maxSize(cfg)
-	pr := core.MustNew(core.DefaultParams(n))
+	pr := core.MustNew(coreParams(cfg, n))
 
 	ticks := make(map[int][]float64) // drag value -> T_{d-1} samples
 	for trial := 0; trial < cfg.Trials; trial++ {

@@ -24,7 +24,7 @@ func Lemma41(cfg Config) []*Table {
 	}
 	checkpoints := []float64{2, 4, 8}
 	for _, n := range cfg.Sizes {
-		pr := core.MustNew(core.DefaultParams(n))
+		pr := core.MustNew(coreParams(cfg, n))
 		nln := float64(n) * math.Log(float64(n))
 		sums := make([]float64, len(checkpoints))
 		final := 0.0
@@ -70,7 +70,7 @@ func Lemma53(cfg Config) []*Table {
 		Columns: []string{"n", "Φ", "junta mean", "junta min", "junta max", "n^0.45", "n^0.77", "inside window"},
 	}
 	for _, n := range cfg.Sizes {
-		pr := core.MustNew(core.DefaultParams(n))
+		pr := core.MustNew(coreParams(cfg, n))
 		juntaAt := make([]float64, cfg.Trials)
 		rs := mustRun(sim.RunTrialsProbed[core.State, *core.Protocol](
 			func(int) *core.Protocol { return pr },
@@ -108,7 +108,7 @@ func Lemma53(cfg Config) []*Table {
 // per trial through a final-snapshot census probe.
 func Lemma71(cfg Config) []*Table {
 	n := maxSize(cfg)
-	pr := core.MustNew(core.DefaultParams(n))
+	pr := core.MustNew(coreParams(cfg, n))
 	psi := pr.Params().Psi
 
 	censusAt := make([][]int, cfg.Trials)
@@ -174,7 +174,7 @@ func Lemma73(cfg Config) []*Table {
 			"final rounds (p90)", "log₄(actives)", "ln ln n"},
 	}
 	for _, n := range cfg.Sizes {
-		pr := core.MustNew(core.DefaultParams(n))
+		pr := core.MustNew(coreParams(cfg, n))
 		var entries, rounds []float64
 		for trial := 0; trial < cfg.Trials; trial++ {
 			stages, _, res := runWithStageTracking(pr, cfg.Seed+4+uint64(trial)*31, cfg)

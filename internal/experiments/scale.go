@@ -30,7 +30,7 @@ func Scale(cfg Config) []*Table {
 	for _, n := range cfg.Sizes {
 		runScaleRow(t, "gs18", n, trials, cfg,
 			func(tr int) sim.Engine {
-				pr := gs18.MustNew(gs18.DefaultParams(n))
+				pr := gs18.MustNew(gs18Params(cfg, n))
 				eng, err := sim.NewEngine[uint32, *gs18.Protocol](pr, trialSource(cfg, tr), sim.BackendCounts)
 				if err != nil {
 					panic(err)
@@ -39,7 +39,7 @@ func Scale(cfg Config) []*Table {
 			})
 		runScaleRow(t, "gsu19", n, trials, cfg,
 			func(tr int) sim.Engine {
-				pr := core.MustNew(core.DefaultParams(n))
+				pr := core.MustNew(coreParams(cfg, n))
 				eng, err := sim.NewEngine[core.State, *core.Protocol](pr, trialSource(cfg, tr), sim.BackendCounts)
 				if err != nil {
 					panic(err)

@@ -32,8 +32,8 @@ func ScaleFigures(cfg Config) []*Table {
 		Columns: []string{"n", "alg", "converged", "par.time", "points",
 			"final leaders", "peak occupied states", "series"},
 	}
-	scaleFigRow[uint32](t, cfg, "gs18", gs18.MustNew(gs18.DefaultParams(n)), every)
-	scaleFigRow[core.State](t, cfg, "gsu19", core.MustNew(core.DefaultParams(n)), every)
+	scaleFigRow[uint32](t, cfg, "gs18", gs18.MustNew(gs18Params(cfg, n)), every)
+	scaleFigRow[core.State](t, cfg, "gsu19", core.MustNew(coreParams(cfg, n)), every)
 	t.AddNote("probe cadence: every %d interactions (one census sample per %.2f parallel-time units)",
 		every, float64(every)/float64(n))
 	if cfg.SeriesDir == "" {

@@ -84,7 +84,7 @@ func Table1(cfg Config) []*Table {
 		return sim.RunTrials[uint32, *slow.Protocol](func(int) *slow.Protocol { return p }, trialCfg(n))
 	})
 	runOne("lottery [BKKO18-style]", "O(log n)", "O(log² n) whp", math.MaxInt, func(n int) ([]sim.Result, error) {
-		p := lottery.MustNew(lottery.DefaultParams(n))
+		p := lottery.MustNew(lotteryParams(cfg, n))
 		// The lottery baseline is dense-only (no finite state-space
 		// enumeration); degrade an explicit counts request to auto, which
 		// falls back to dense for it.
@@ -95,15 +95,15 @@ func Table1(cfg Config) []*Table {
 		return sim.RunTrials[uint32, *lottery.Protocol](func(int) *lottery.Protocol { return p }, tc)
 	})
 	runOne("gs18 [GS18]", "O(log log n)", "O(log² n) whp", math.MaxInt, func(n int) ([]sim.Result, error) {
-		p := gs18.MustNew(gs18.DefaultParams(n))
+		p := gs18.MustNew(gs18Params(cfg, n))
 		return sim.RunTrials[uint32, *gs18.Protocol](func(int) *gs18.Protocol { return p }, trialCfg(n))
 	})
 	runOne("this work [GSU19]", "O(log log n)", "O(log n·log log n) exp.", math.MaxInt, func(n int) ([]sim.Result, error) {
-		p := core.MustNew(core.DefaultParams(n))
+		p := core.MustNew(coreParams(cfg, n))
 		return sim.RunTrials[core.State, *core.Protocol](func(int) *core.Protocol { return p }, trialCfg(n))
 	})
 
-	t.AddNote("states used = distinct packed states observed over a whole run (max across trials); includes the Γ=%d clock phases, so compare across protocols, not to the paper's asymptotic counts directly", 36)
+	t.AddNote("states used = distinct packed states observed over a whole run (max across trials); includes the Γ clock phases (derived per size: %s), so compare across protocols, not to the paper's asymptotic counts directly", gammaRange(cfg))
 	t.AddNote("shape columns: the protocol's own column should stay ≈ constant as n grows")
 	return []*Table{t}
 }

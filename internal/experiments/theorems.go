@@ -21,13 +21,14 @@ import (
 func Theorem32(cfg Config) []*Table {
 	t := &Table{
 		ID:    "thm32",
-		Title: "Phase clock (Γ=36, junta n^0.7): synchrony and round length",
-		Columns: []string{"n", "junta", "rounds run", "worst counter spread",
+		Title: "Phase clock (derived Γ(n), junta n^0.7): synchrony and round length",
+		Columns: []string{"n", "Γ", "junta", "rounds run", "worst counter spread",
 			"round len / (n ln n)"},
 	}
 	for _, n := range cfg.Sizes {
 		juntaSize := int(math.Pow(float64(n), 0.7))
-		c, err := phaseclock.NewStandalone(n, 36, juntaSize)
+		gamma := gammaFor(cfg, n)
+		c, err := phaseclock.NewStandalone(n, gamma, juntaSize)
 		if err != nil {
 			continue
 		}
@@ -59,9 +60,10 @@ func Theorem32(cfg Config) []*Table {
 		if minRounds > 0 {
 			perRound = float64(total) / float64(minRounds) / nln
 		}
-		t.AddRow(d(n), d(juntaSize), d(minRounds), d(worst), f2(perRound))
+		t.AddRow(d(n), d(gamma), d(juntaSize), d(minRounds), d(worst), f2(perRound))
 	}
 	t.AddNote("Theorem 3.2: passes through 0 form equivalence classes (spread ≤ 1) and rounds cost Θ(n log n)")
+	t.AddNote("Γ is derived per size (phaseclock.DefaultGamma: next even ≥ 2·log₂ n, floor 36); override with -gamma")
 	return []*Table{t}
 }
 
@@ -77,7 +79,7 @@ func Theorem82(cfg Config) []*Table {
 	}
 	var ns, means []float64
 	for _, n := range cfg.Sizes {
-		pr := core.MustNew(core.DefaultParams(n))
+		pr := core.MustNew(coreParams(cfg, n))
 		rs := mustRun(sim.RunTrials[core.State, *core.Protocol](func(int) *core.Protocol { return pr },
 			sim.TrialConfig{Trials: cfg.Trials, Seed: cfg.Seed + 6 + uint64(n), Workers: cfg.Workers, Backend: cfg.Backend, Batch: cfg.Batch}))
 		ok := 0
@@ -167,7 +169,7 @@ func Ablation(cfg Config) []*Table {
 				t.AddRow(v.name, d(n), "— (slow-backup tail; capped)", "—", "—", "—")
 				continue
 			}
-			params := core.DefaultParams(n)
+			params := coreParams(cfg, n)
 			v.mutate(&params)
 			pr := core.MustNew(params)
 			rs := mustRun(sim.RunTrials[core.State, *core.Protocol](func(int) *core.Protocol { return pr },

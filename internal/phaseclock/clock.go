@@ -15,11 +15,57 @@
 // standalone clock-only protocol used to validate Theorem 3.2 empirically.
 package phaseclock
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
+
+// MaxGamma is the largest usable clock resolution: every protocol in this
+// repository packs the phase into an 8-bit field (core/state.go's phaseMask
+// and the uint8 Γ registers the protocol structs carry), and Γ must be
+// even, so 254 is the ceiling the packed layout imposes. Validate and the
+// derived DefaultGamma both clamp against it.
+const MaxGamma = 254
+
+// MinDefaultGamma is the floor of the derived resolution DefaultGamma: the
+// historical constant Γ = 36, which the Theorem 3.2 experiments show is
+// ample for populations up to 2¹⁸ (where 2·log₂ n reaches it).
+const MinDefaultGamma = 36
+
+// DefaultGamma returns the derived, scale-correct clock resolution Γ(n):
+// the next even value ≥ 2·log₂ n, floored at MinDefaultGamma and clamped
+// to MaxGamma. The paper (and the GS18 clock construction it builds on)
+// needs Γ "suitably large" relative to the natural junta-driven phase
+// spread, which grows as Θ(log n): once the spread crosses the MaxΓ wrap
+// window Γ/2, the clock tears (all phases occupied, rounds lose meaning)
+// — measured at n ≈ 10⁷ for the historical fixed Γ = 36. With c = 2 the
+// wrap window Γ/2 ≥ log₂ n ≈ 1.44·ln n stays above the ≈ ln n spread at
+// every population size, so the margin is scale-invariant.
+//
+// This is the single source of truth: core.DefaultParams,
+// gs18.DefaultParams, lottery.DefaultParams and the experiment harness all
+// derive their Γ from it, and every entry point exposes an explicit
+// override (popelect.WithGamma, the CLIs' -gamma).
+func DefaultGamma(n int) int {
+	g := MinDefaultGamma
+	if n > 1 {
+		if d := int(math.Ceil(2 * math.Log2(float64(n)))); d > g {
+			g = d
+		}
+	}
+	if g%2 != 0 {
+		g++
+	}
+	if g > MaxGamma {
+		g = MaxGamma
+	}
+	return g
+}
 
 // Validate checks that gamma is a usable clock resolution: at least 4 (so
-// that both halves and the wrap window are non-trivial) and even (so the
-// early/late halves are equal).
+// that both halves and the wrap window are non-trivial), even (so the
+// early/late halves are equal), and at most MaxGamma (so phases fit the
+// packed 8-bit field).
 func Validate(gamma int) error {
 	if gamma < 4 {
 		return fmt.Errorf("phaseclock: gamma %d < 4", gamma)
@@ -27,13 +73,13 @@ func Validate(gamma int) error {
 	if gamma%2 != 0 {
 		return fmt.Errorf("phaseclock: gamma %d must be even", gamma)
 	}
-	if gamma > 250 {
-		return fmt.Errorf("phaseclock: gamma %d does not fit the packed phase field", gamma)
+	if gamma > MaxGamma {
+		return fmt.Errorf("phaseclock: gamma %d exceeds MaxGamma %d (packed phase field)", gamma, MaxGamma)
 	}
 	return nil
 }
 
-// MaxGamma returns max_Γ(x, y) as defined in the paper:
+// CyclicMax returns max_Γ(x, y) as defined in the paper:
 //
 //	max(x, y)  if |x − y| ≤ Γ/2,
 //	min(x, y)  if |x − y| > Γ/2.
@@ -41,7 +87,7 @@ func Validate(gamma int) error {
 // The min branch handles phases that straddle the wrap point: when the two
 // values are more than half a cycle apart, the numerically smaller one is
 // actually ahead (it has already wrapped past 0).
-func MaxGamma(gamma, x, y uint8) uint8 {
+func CyclicMax(gamma, x, y uint8) uint8 {
 	d := x - y
 	if x < y {
 		d = y - x
@@ -66,13 +112,13 @@ func AddGamma(gamma, x, d uint8) uint8 {
 // FollowerNext returns the phase a clock follower adopts after interacting
 // (as responder) with an initiator at phase y.
 func FollowerNext(gamma, x, y uint8) uint8 {
-	return MaxGamma(gamma, x, y)
+	return CyclicMax(gamma, x, y)
 }
 
 // JuntaNext returns the phase a junta member (clock leader) adopts after
 // interacting (as responder) with an initiator at phase y.
 func JuntaNext(gamma, x, y uint8) uint8 {
-	return MaxGamma(gamma, x, AddGamma(gamma, y, 1))
+	return CyclicMax(gamma, x, AddGamma(gamma, y, 1))
 }
 
 // PassedZero reports whether moving from phase old to phase new constitutes
@@ -82,6 +128,144 @@ func JuntaNext(gamma, x, y uint8) uint8 {
 func PassedZero(old, new uint8) bool {
 	return new < old
 }
+
+// Span returns the size of the smallest cyclic window of consecutive
+// phases containing every occupied one: len(occupied) minus the largest
+// circular run of empty phases. It is the synchrony measure of the clock —
+// a healthy junta-driven clock keeps Span below the Γ/2 wrap window of
+// CyclicMax, while a span at or past Γ/2 is the tearing signature (phases
+// straddle the wrap ambiguously, passes through 0 stop delimiting rounds).
+// Span returns 0 for an empty census and len(occupied) when every phase is
+// occupied (a fully torn clock).
+func Span(occupied []bool) int {
+	gamma := len(occupied)
+	first := -1
+	for i, o := range occupied {
+		if o {
+			first = i
+			break
+		}
+	}
+	if first < 0 {
+		return 0
+	}
+	maxGap, gap := 0, 0
+	for k := 0; k < gamma; k++ {
+		if occupied[(first+k)%gamma] {
+			if gap > maxGap {
+				maxGap = gap
+			}
+			gap = 0
+		} else {
+			gap++
+		}
+	}
+	if gap > maxGap {
+		maxGap = gap
+	}
+	return gamma - maxGap
+}
+
+// BulkQuantile is the population-mass fraction MassSpan is conventionally
+// measured at in the clock-health experiments and regression tests: the
+// span of the window holding 99% of the agents. Isolated stragglers more
+// than Γ/2 behind the front are harmless — CyclicMax re-drags them on
+// their next contact with the bulk — so clock health is a property of
+// where the mass sits, not of the single most-lagged agent (whose lag
+// fluctuates past Γ/2 even in a perfectly healthy clock at small n).
+const BulkQuantile = 0.99
+
+// MassSpan returns the size of the smallest cyclic phase window holding
+// at least fraction q of the total mass in hist (one bin per phase). It
+// is the robust version of Span for measured censuses: MassSpan(hist,
+// BulkQuantile) staying under Γ/2 is the clock-health criterion, and a
+// bulk span at Γ/2 or beyond is the tearing signature — CyclicMax can no
+// longer order front against back, passes through 0 stop delimiting
+// rounds. Returns 0 for an empty histogram.
+func MassSpan(hist []int64, q float64) int {
+	gamma := len(hist)
+	total := int64(0)
+	for _, c := range hist {
+		if c > 0 {
+			total += c
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	need := int64(math.Ceil(q * float64(total)))
+	if need <= 0 {
+		need = 1
+	}
+	best := gamma
+	for start := 0; start < gamma; start++ {
+		if hist[start] <= 0 {
+			continue // an optimal window starts on occupied mass
+		}
+		sum := int64(0)
+		for w := 1; w <= gamma && w < best; w++ {
+			if c := hist[(start+w-1)%gamma]; c > 0 {
+				sum += c
+			}
+			if sum >= need {
+				best = w
+				break
+			}
+		}
+	}
+	return best
+}
+
+// SpanMeter accumulates the clock-health spans of a sequence of census
+// snapshots — the shared instrumentation behind the clockspan experiment
+// and the span regression tests. Per snapshot, call Begin, feed every
+// (phase, count) census pair to Add, then End; MaxBulk and MaxFull report
+// the worst bulk (BulkQuantile-mass) and full occupied-phase spans seen
+// across all closed snapshots.
+type SpanMeter struct {
+	hist    []int64
+	maxBulk int
+	maxFull int
+}
+
+// NewSpanMeter builds a meter for a Γ-phase clock.
+func NewSpanMeter(gamma int) *SpanMeter {
+	return &SpanMeter{hist: make([]int64, gamma)}
+}
+
+// Begin starts a new snapshot, clearing the per-snapshot histogram.
+func (m *SpanMeter) Begin() {
+	for i := range m.hist {
+		m.hist[i] = 0
+	}
+}
+
+// Add accumulates count agents at phase. Phases outside the clock and
+// non-positive counts are ignored (the counts backend's census reports
+// indexed-but-emptied entries with count 0).
+func (m *SpanMeter) Add(phase uint8, count int64) {
+	if int(phase) < len(m.hist) && count > 0 {
+		m.hist[phase] += count
+	}
+}
+
+// End closes the snapshot, folding its spans into the running maxima.
+func (m *SpanMeter) End() {
+	if b := MassSpan(m.hist, BulkQuantile); b > m.maxBulk {
+		m.maxBulk = b
+	}
+	// The full occupied span is the q = 1 mass span: the smallest cyclic
+	// window holding every agent.
+	if f := MassSpan(m.hist, 1); f > m.maxFull {
+		m.maxFull = f
+	}
+}
+
+// MaxBulk returns the worst bulk (BulkQuantile-mass) span closed so far.
+func (m *SpanMeter) MaxBulk() int { return m.maxBulk }
+
+// MaxFull returns the worst full occupied-phase span closed so far.
+func (m *SpanMeter) MaxFull() int { return m.maxFull }
 
 // Half identifies which half of the clock cycle an interaction belongs to.
 type Half uint8

@@ -6,19 +6,128 @@ import (
 )
 
 func TestValidate(t *testing.T) {
-	for _, g := range []int{4, 16, 36, 250} {
+	for _, g := range []int{4, 16, 36, 250, MaxGamma} {
 		if err := Validate(g); err != nil {
 			t.Errorf("Validate(%d) = %v", g, err)
 		}
 	}
-	for _, g := range []int{0, 2, 3, 5, 17, 251, 256} {
+	for _, g := range []int{0, 2, 3, 5, 17, MaxGamma + 1, MaxGamma + 2, 256} {
 		if err := Validate(g); err == nil {
 			t.Errorf("Validate(%d) should fail", g)
 		}
 	}
 }
 
-func TestMaxGammaDefinition(t *testing.T) {
+// TestMaxGammaFitsPackedField pins the constant to the 8-bit phase field
+// every packed state layout shares: the largest phase Γ−1 must fit a uint8
+// and Γ itself must fit the protocols' uint8 Γ registers.
+func TestMaxGammaFitsPackedField(t *testing.T) {
+	if MaxGamma%2 != 0 {
+		t.Fatalf("MaxGamma %d must be even", MaxGamma)
+	}
+	if MaxGamma > 255 {
+		t.Fatalf("MaxGamma %d does not fit a uint8 gamma register", MaxGamma)
+	}
+	if MaxGamma+2 <= 255 {
+		t.Fatalf("MaxGamma %d is not the largest even uint8 value", MaxGamma)
+	}
+}
+
+// TestDefaultGamma pins the derived Γ(n): even, floored at the historical
+// 36, ≥ 2·log₂ n past the floor, monotone in n, and clamped to MaxGamma.
+func TestDefaultGamma(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 36},
+		{2, 36},
+		{1 << 10, 36},
+		{1 << 18, 36},       // 2·18 = 36: the floor ends exactly here
+		{1 << 20, 40},       // 2·20
+		{10_000_000, 48},    // 2·log₂ 10⁷ = 46.5 → 48
+		{100_000_000, 54},   // 2·26.6 = 53.2 → 54
+		{1_000_000_000, 60}, // 2·29.9 = 59.8 → 60
+	}
+	for _, c := range cases {
+		if got := DefaultGamma(c.n); got != c.want {
+			t.Errorf("DefaultGamma(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+	prev := 0
+	for e := 1; e < 63; e++ {
+		g := DefaultGamma(1 << e)
+		if g%2 != 0 || g < MinDefaultGamma || g > MaxGamma {
+			t.Fatalf("DefaultGamma(2^%d) = %d out of contract", e, g)
+		}
+		if g < prev {
+			t.Fatalf("DefaultGamma not monotone at 2^%d: %d < %d", e, g, prev)
+		}
+		if err := Validate(g); err != nil {
+			t.Fatalf("DefaultGamma(2^%d) = %d fails Validate: %v", e, g, err)
+		}
+		prev = g
+	}
+}
+
+// TestSpan pins the cyclic-window synchrony measure.
+func TestSpan(t *testing.T) {
+	occ := func(gamma int, phases ...int) []bool {
+		o := make([]bool, gamma)
+		for _, p := range phases {
+			o[p] = true
+		}
+		return o
+	}
+	cases := []struct {
+		name string
+		occ  []bool
+		want int
+	}{
+		{"empty", occ(12), 0},
+		{"single", occ(12, 5), 1},
+		{"contiguous", occ(12, 3, 4, 5), 3},
+		{"holes inside window", occ(12, 3, 7), 5},
+		{"wrapping window", occ(12, 11, 0, 1), 3},
+		{"wrap beats inner window", occ(12, 10, 1), 4},
+		{"full cycle", occ(12, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11), 12},
+		{"antipodal", occ(12, 0, 6), 7},
+	}
+	for _, c := range cases {
+		if got := Span(c.occ); got != c.want {
+			t.Errorf("%s: Span = %d, want %d", c.name, got, c.want)
+		}
+		// MassSpan at q = 1 is the full occupied span — the identity
+		// SpanMeter.End relies on.
+		hist := make([]int64, len(c.occ))
+		for p, o := range c.occ {
+			if o {
+				hist[p] = 3
+			}
+		}
+		if got := MassSpan(hist, 1); got != c.want {
+			t.Errorf("%s: MassSpan(q=1) = %d, want Span %d", c.name, got, c.want)
+		}
+	}
+}
+
+// TestMassSpanTrimsStragglers pins the bulk measure: a lone straggler far
+// behind a tight bulk inflates the full span but not the 99% mass span.
+func TestMassSpan(t *testing.T) {
+	hist := make([]int64, 36)
+	for p := 10; p < 16; p++ {
+		hist[p] = 200 // 1200 agents in a 6-phase window
+	}
+	hist[30] = 2 // straggler across the cycle
+	if got := MassSpan(hist, 1); got != 21 {
+		t.Fatalf("full span = %d, want 21 (phases 10–30)", got)
+	}
+	if got := MassSpan(hist, BulkQuantile); got != 6 {
+		t.Fatalf("bulk span = %d, want 6", got)
+	}
+	if got := MassSpan(make([]int64, 36), BulkQuantile); got != 0 {
+		t.Fatalf("empty census span = %d, want 0", got)
+	}
+}
+
+func TestCyclicMaxDefinition(t *testing.T) {
 	const g = 12
 	cases := []struct{ x, y, want uint8 }{
 		{0, 0, 0},
@@ -32,28 +141,28 @@ func TestMaxGammaDefinition(t *testing.T) {
 		{6, 11, 11}, // |x-y| = 5 ≤ 6: max
 	}
 	for _, c := range cases {
-		if got := MaxGamma(g, c.x, c.y); got != c.want {
-			t.Errorf("MaxGamma(%d, %d, %d) = %d, want %d", g, c.x, c.y, got, c.want)
+		if got := CyclicMax(g, c.x, c.y); got != c.want {
+			t.Errorf("CyclicMax(%d, %d, %d) = %d, want %d", g, c.x, c.y, got, c.want)
 		}
 	}
 }
 
-func TestMaxGammaProperties(t *testing.T) {
+func TestCyclicMaxProperties(t *testing.T) {
 	f := func(gRaw, xRaw, yRaw uint8) bool {
 		g := 4 + 2*uint8(gRaw%100) // even, in [4, 202]
 		x := xRaw % g
 		y := yRaw % g
-		m := MaxGamma(g, x, y)
+		m := CyclicMax(g, x, y)
 		// Result is always one of the inputs.
 		if m != x && m != y {
 			return false
 		}
 		// Commutativity.
-		if m != MaxGamma(g, y, x) {
+		if m != CyclicMax(g, y, x) {
 			return false
 		}
 		// Idempotence.
-		return MaxGamma(g, x, x) == x
+		return CyclicMax(g, x, x) == x
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
 		t.Error(err)

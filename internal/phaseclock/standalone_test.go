@@ -124,6 +124,52 @@ func TestStandaloneSynchrony(t *testing.T) {
 	}
 }
 
+// TestStandaloneClockSpanRegression pins the PR 3 tearing signature away
+// at the million-agent scale: with the derived Γ(n) = 40 at n = 2²⁰ and a
+// junta of size n^0.7, the bulk (99%-mass) phase span measured through
+// census probes must stay under the Γ/2 wrap window once the clock has
+// left phase 0 — the regime where a too-small Γ decoheres. The run covers
+// several epidemic times past the spin-up, long enough for the spread to
+// reach its steady state.
+func TestStandaloneClockSpanRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs ~6·10⁷ dense interactions at n=2²⁰")
+	}
+	n := 1 << 20
+	gamma := DefaultGamma(n)
+	if gamma != 40 {
+		t.Fatalf("derived Γ(2²⁰) = %d, want 40", gamma)
+	}
+	junta := int(math.Pow(float64(n), 0.7))
+	c, err := NewStandalone(n, gamma, junta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := sim.NewEngine[uint32, *Standalone](c, rng.New(2026), sim.BackendDense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meter := NewSpanMeter(gamma)
+	probe := func(step uint64, v sim.CensusView[uint32]) {
+		meter.Begin()
+		v.VisitStates(func(s uint32, count int64) { meter.Add(uint8(s&phaseMask), count) })
+		meter.End()
+	}
+	if err := sim.AddProbe[uint32](eng, probe, uint64(n)); err != nil {
+		t.Fatal(err)
+	}
+	// ~4 epidemic times (2·n·ln n each): the front laps the cycle more
+	// than once, so a wrap-window failure would have had its chance.
+	eng.RunSteps(uint64(8 * float64(n) * math.Log(float64(n))))
+	if meter.MaxBulk() >= gamma/2 {
+		t.Fatalf("bulk phase span %d reached the Γ/2 window %d: the tearing signature is back",
+			meter.MaxBulk(), gamma/2)
+	}
+	if meter.MaxBulk() == 0 {
+		t.Fatal("probes measured no phases; instrumentation broken")
+	}
+}
+
 func TestStandaloneNeverStabilizes(t *testing.T) {
 	c, _ := NewStandalone(16, 12, 4)
 	if c.Stable([]int64{16, 0}) {

@@ -28,13 +28,16 @@ import (
 // Params configures the GS18 baseline.
 type Params struct {
 	N     int
-	Gamma int // phase clock resolution, default 36
+	Gamma int // phase clock resolution, default phaseclock.DefaultGamma(N)
 	Phi   int // junta level cap, default ChoosePhi(N)
 }
 
-// DefaultParams returns working parameters for population size n.
+// DefaultParams returns working parameters for population size n. Γ is
+// derived (phaseclock.DefaultGamma): GS18's clock has no passive-candidate
+// safety net, so it is the protocol most sensitive to the phase spread
+// crossing Γ/2 — the historical fixed Γ = 36 tears at n ≳ 10⁷.
 func DefaultParams(n int) Params {
-	return Params{N: n, Gamma: 36, Phi: ChoosePhi(n)}
+	return Params{N: n, Gamma: phaseclock.DefaultGamma(n), Phi: ChoosePhi(n)}
 }
 
 // ChoosePhi picks the level cap so the predicted junta size C_Φ lands

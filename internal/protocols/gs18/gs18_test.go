@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"popelect/internal/junta"
+	"popelect/internal/phaseclock"
 	"popelect/internal/rng"
 	"popelect/internal/sim"
 	"popelect/internal/simtest"
@@ -142,6 +143,62 @@ func TestPolylogTime(t *testing.T) {
 		t.Fatalf("parallel time %.0f exceeds n", t16)
 	}
 	_ = math.Log
+}
+
+// TestDefaultParamsDeriveGamma pins the single-source-of-truth contract:
+// GS18's default Γ comes from phaseclock.DefaultGamma, so it scales with
+// the population instead of sitting at the historical 36.
+func TestDefaultParamsDeriveGamma(t *testing.T) {
+	for _, n := range []int{128, 1 << 18, 1 << 20, 10_000_000} {
+		if g, want := DefaultParams(n).Gamma, phaseclock.DefaultGamma(n); g != want {
+			t.Errorf("DefaultParams(%d).Gamma = %d, want derived %d", n, g, want)
+		}
+	}
+	if g := DefaultParams(10_000_000).Gamma; g <= 36 {
+		t.Fatalf("Γ(10⁷) = %d: still in the tearing regime of the fixed constant", g)
+	}
+}
+
+// TestClockSpanRegression pins the PR 3 tearing signature away end to end:
+// a full GS18 election at n = 2²⁰ on the counts backend under the faithful
+// adaptive batch policy must stabilize with the bulk (99%-mass) phase span
+// staying under the derived Γ's wrap window Γ/2 at every census probe.
+// Under the old hardwired Γ = 36 this measure is healthy at 2²⁰ but tears
+// at n ≈ 10⁷ (all phases occupied, elimination degrading to pairwise
+// duels); the derived Γ(n) must keep the margin at every size, and this
+// test is the laptop-scale canary for the instrumentation and the bound.
+func TestClockSpanRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full counts election at n=2²⁰ (~15s)")
+	}
+	n := 1 << 20
+	pr := MustNew(DefaultParams(n))
+	gamma := pr.params.Gamma
+	eng, err := sim.NewEngine[uint32, *Protocol](pr, rng.New(42), sim.BackendCounts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.(*sim.CountsEngine[uint32]).SetBatchPolicy(sim.BatchPolicy{Mode: sim.BatchAdaptive})
+	meter := phaseclock.NewSpanMeter(gamma)
+	probe := func(step uint64, v sim.CensusView[uint32]) {
+		meter.Begin()
+		v.VisitStates(func(s uint32, count int64) { meter.Add(uint8(s&phaseMask), count) })
+		meter.End()
+	}
+	if err := sim.AddProbe[uint32](eng, probe, uint64(n)); err != nil {
+		t.Fatal(err)
+	}
+	res := eng.Run()
+	if !res.Converged || res.Leaders != 1 {
+		t.Fatalf("adaptive counts election at n=2²⁰: %+v", res)
+	}
+	if meter.MaxBulk() >= gamma/2 {
+		t.Fatalf("bulk phase span %d reached the Γ/2 window %d (Γ=%d): the tearing signature is back",
+			meter.MaxBulk(), gamma/2, gamma)
+	}
+	if meter.MaxBulk() == 0 {
+		t.Fatal("probes measured no phases; instrumentation broken")
+	}
 }
 
 func TestMetadata(t *testing.T) {

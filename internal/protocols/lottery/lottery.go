@@ -22,7 +22,7 @@ import (
 // Params configures the lottery baseline.
 type Params struct {
 	N           int
-	Gamma       int // phase clock resolution, default 36
+	Gamma       int // phase clock resolution, default phaseclock.DefaultGamma(N)
 	MaxRank     int // rank cap, default 2·⌈log₂ n⌉ (≤ 63)
 	JuntaRank   int // clock-junta rank threshold, default ⌈0.4·log₂ n⌉
 	WarmupReads int // interactions before ranking starts, default 5
@@ -42,7 +42,7 @@ func DefaultParams(n int) Params {
 	if jr < 2 {
 		jr = 2
 	}
-	return Params{N: n, Gamma: 36, MaxRank: maxRank, JuntaRank: jr, WarmupReads: 5}
+	return Params{N: n, Gamma: phaseclock.DefaultGamma(n), MaxRank: maxRank, JuntaRank: jr, WarmupReads: 5}
 }
 
 // State packing (uint32):

@@ -12,13 +12,12 @@ type BatchMode uint8
 const (
 	// BatchAuto is the zero value and the default: exact per-interaction
 	// simulation below ExactMaxN agents, the drift-bounded adaptive
-	// controller up to AutoAdaptiveMaxN, and fixed n/8 batches beyond.
-	// The fixed tier exists because very large populations are exactly
-	// where fixed batches' artificial phase-clock synchronization (see
-	// BatchFixed) keeps marginal protocols like GS18 stabilizing fast;
-	// the faithful adaptive law reproduces the dense scheduler's clock
-	// tearing there, at far lower throughput. Set an explicit mode to
-	// override either way.
+	// controller up to AutoAdaptiveMaxN (the faithful regime, validated
+	// by the clockspan experiment), and fixed n/8 batches beyond — a pure
+	// throughput preference with a known ≈10% stabilization-time bias,
+	// not a fidelity requirement, now that the protocols derive a
+	// scale-correct Γ(n) (phaseclock.DefaultGamma). Set an explicit mode
+	// to override either way.
 	BatchAuto BatchMode = iota
 
 	// BatchFixed advances fixed-length batches of Policy.Len interactions
@@ -27,13 +26,14 @@ const (
 	// runs GS18 stabilization-time means ≈10% high at ℓ = n/8 and ≈30% at
 	// ℓ = n/2 — and, more subtly, long batches artificially re-synchronize
 	// junta-driven phase clocks (the front advances at most one phase per
-	// batch while stragglers jump to the frozen batch-start maximum),
-	// which masks the clock tearing that GS18's fixed Γ = 36 suffers under
-	// the true law once the natural phase spread (~log n) crosses Γ/2 at
-	// n ≳ 10⁷. Measured at n = 10⁷: the dense scheduler and faithful
-	// small-batch runs both tear (occupied phases reach all 36, leader
-	// elimination degrades to pairwise duels), while ℓ = n/8 holds the
-	// spread at ~20 phases and stabilizes fast.
+	// batch while stragglers jump to the frozen batch-start maximum).
+	// Under the old hardwired Γ = 36 that artifact was load-bearing: the
+	// true law tears such a clock once the natural ~log n phase spread
+	// crosses Γ/2 at n ≈ 10⁷, while ℓ = n/8 held the spread at ~20 phases
+	// and kept the scale results stabilizing fast. With the derived Γ(n)
+	// the wrap window outgrows the spread at every n, so fixed batches are
+	// back to being only the throughput end of the accuracy/speed dial
+	// (see the clockspan experiment for the measured re-validation).
 	BatchFixed
 
 	// BatchAdaptive bounds each batch so that no state's expected census
@@ -73,16 +73,21 @@ const DefaultBatchEps = 0.05
 
 // AutoAdaptiveMaxN is the population size up to which BatchAuto uses the
 // drift-bounded adaptive controller; above it, auto falls back to fixed
-// n/8 batches. The boundary reflects a measured protocol property, not an
-// engine one: GS18's fixed Γ = 36 phase clock runs out of synchronization
-// margin once the natural phase spread (~log n) approaches Γ/2, which the
-// dense scheduler and faithful small batches both exhibit at n ≈ 10⁷
-// (clock tearing: all Γ phases occupied, leader elimination degrading to
-// pairwise duels) — while long fixed batches artificially hold the clock
-// together and keep the asymptotic-regime runs stabilizing in seconds.
-// Auto therefore prefers fidelity while it is safe and throughput beyond;
-// an explicit BatchAdaptive or BatchFixed overrides the choice at any n.
-const AutoAdaptiveMaxN = 1 << 22
+// n/8 batches purely for throughput (fixed batches simulate ≈7× more
+// interactions per second, at a measured ≈10% stabilization-time bias).
+//
+// History: this boundary used to sit at 2²², and for a correctness reason
+// rather than a throughput one — the protocols hardwired Γ = 36, whose
+// wrap window Γ/2 the natural ~log n phase spread crosses at n ≈ 10⁷, so
+// the faithful adaptive law reproduced the dense scheduler's clock
+// tearing there and only fixed batches' artificial re-synchronization
+// kept the asymptotic-regime runs finishing. With Γ now derived from n
+// (phaseclock.DefaultGamma: Γ/2 ≥ log₂ n at every size) the clockspan
+// experiment shows the adaptive policy holding the phase span well under
+// Γ/2 through stabilization at n = 10⁷–10⁸, so the boundary is a dial,
+// not a cliff: it covers the whole validated range, and an explicit
+// BatchAdaptive or BatchFixed overrides the choice at any n.
+const AutoAdaptiveMaxN = 1 << 27
 
 // BatchPolicy configures the counts backend's batch scheduling. The zero
 // value is BatchAuto: exact below ExactMaxN agents, adaptive with

@@ -37,10 +37,10 @@ import (
 // AutoAdaptiveMaxN it bounds each batch adaptively so that no state's
 // expected count drifts more than an ε fraction per batch (BatchAdaptive),
 // keeping bulk-phase batches long and shrinking them through the volatile
-// endgame; and beyond that it returns to fixed n/8 batches, whose
-// artificial phase-clock synchronization is what keeps marginal protocols
-// stabilizing fast in the asymptotic regime (see BatchPolicy and
-// AutoAdaptiveMaxN for the measured story).
+// endgame; and beyond that it trades the remaining fidelity for fixed n/8
+// throughput (see BatchPolicy and AutoAdaptiveMaxN — with the derived
+// Γ(n) phase clocks this last tier is a speed preference, not a
+// correctness crutch).
 //
 // A CountsEngine is single-goroutine, like Runner.
 type CountsEngine[S comparable] struct {
@@ -448,9 +448,8 @@ func (e *CountsEngine[S]) resolvedPolicy() BatchPolicy {
 		case e.n <= AutoAdaptiveMaxN:
 			p = BatchPolicy{Mode: BatchAdaptive, Eps: p.Eps}
 		default:
-			// Beyond the adaptive tier, auto prefers throughput: fixed
-			// n/8 batches also hold marginal phase clocks together (see
-			// AutoAdaptiveMaxN).
+			// Beyond the validated adaptive tier, auto prefers fixed n/8
+			// throughput at a known ≈10% bias (see AutoAdaptiveMaxN).
 			p = BatchPolicy{Mode: BatchFixed}
 		}
 	}

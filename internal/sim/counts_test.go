@@ -377,9 +377,19 @@ func TestResolvedPolicy(t *testing.T) {
 		t.Fatalf("auto at ExactMaxN resolved to %+v, want adaptive", p)
 	}
 
-	// Beyond the adaptive tier, auto prefers the fixed n/8 throughput (and
-	// phase-clock synchronization) regime.
-	huge := NewCountsEngine[uint32](enumDuel{duel{AutoAdaptiveMaxN + 1}}, rng.New(1))
+	// The validated adaptive tier must cover the asymptotic-regime sizes
+	// the repo's headline runs use (acceptance: at least 2²⁴, so that
+	// auto no longer falls back to fixed batches below the range the
+	// clockspan experiment re-validated with the derived Γ(n)).
+	if AutoAdaptiveMaxN < 1<<24 {
+		t.Fatalf("AutoAdaptiveMaxN = %d below the validated 2²⁴ floor", AutoAdaptiveMaxN)
+	}
+
+	// Beyond the adaptive tier, auto prefers the fixed n/8 throughput
+	// regime. Constructing a real 2²⁷-agent engine costs an O(n) Reset,
+	// so resize the small one: resolvedPolicy only reads e.n.
+	huge := NewCountsEngine[uint32](enumDuel{duel{100}}, rng.New(1))
+	huge.n = AutoAdaptiveMaxN + 1
 	if p := huge.resolvedPolicy(); p.Mode != BatchFixed || p.Len != uint64(AutoAdaptiveMaxN+1)/8 {
 		t.Fatalf("auto above AutoAdaptiveMaxN resolved to %+v, want fixed n/8", p)
 	}

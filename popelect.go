@@ -106,6 +106,11 @@ func WithSeed(seed uint64) Option { return func(o *options) { o.seed = seed } }
 func WithBudget(max uint64) Option { return func(o *options) { o.budget = max } }
 
 // WithGamma overrides the phase-clock resolution Γ (GSU19/GS18/Lottery).
+// The default is derived from the population size — Γ(n) =
+// phaseclock.DefaultGamma(n), the next even value ≥ 2·log₂ n floored at
+// 36 — so that the clock's wrap window Γ/2 always clears the natural
+// ~log n phase spread; a fixed override below that tears the clock at
+// large n.
 func WithGamma(gamma int) Option { return func(o *options) { o.gamma = gamma } }
 
 // WithPhi overrides the coin-level cap Φ (GSU19/GS18).
@@ -125,9 +130,9 @@ func WithBackend(backend string) Option { return func(o *options) { o.backend = 
 
 // WithBatchPolicy selects the counts backend's batch scheduling policy:
 // "auto" (the default: exact below 2¹⁷ agents, drift-bounded adaptive
-// batching up to 2²², fixed n/8 batches beyond), "adaptive", "exact", or
-// a positive integer fixing the batch length (fast but biases
-// stabilization times upward and artificially synchronizes phase clocks —
+// batching — the faithful regime — up to 2²⁷, fixed n/8 batches beyond
+// for throughput), "adaptive", "exact", or a positive integer fixing the
+// batch length (fast but biases stabilization times upward ≈10% at n/8 —
 // see sim.BatchPolicy). The dense backend ignores it. See also
 // WithBatchEps.
 func WithBatchPolicy(policy string) Option { return func(o *options) { o.batch = policy } }
