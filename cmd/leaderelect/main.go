@@ -1,8 +1,12 @@
-// Command leaderelect runs one leader election and reports the outcome.
+// Command leaderelect runs one registered protocol and reports the
+// outcome: a leader election (the default gsu19) or any scenario protocol
+// from the unified registry.
 //
 // Usage:
 //
 //	leaderelect -n 100000 -alg gsu19 -seed 42 -v
+//	leaderelect -alg list            # print the protocol registry
+//	leaderelect -n 100000 -alg clockedmajority
 //
 // With -v it prints a census timeline: the sub-population sizes (coins,
 // inhibitors, active/passive/withdrawn candidates) sampled over the run,
@@ -24,6 +28,7 @@ import (
 
 	"popelect"
 	"popelect/internal/core"
+	"popelect/internal/protocols"
 	"popelect/internal/rng"
 	"popelect/internal/sim"
 	"popelect/internal/stats"
@@ -32,7 +37,7 @@ import (
 func main() {
 	var (
 		n        = flag.Int("n", 10000, "population size")
-		alg      = flag.String("alg", "gsu19", "algorithm: gsu19, gs18, lottery, slow")
+		alg      = flag.String("alg", "gsu19", "protocol name from the registry, or 'list' to print it")
 		seed     = flag.Uint64("seed", 1, "PRNG seed")
 		gamma    = flag.Int("gamma", 0, "phase clock resolution Γ (0 = derived Γ(n): next even ≥ 2·log₂ n, floor 36)")
 		phi      = flag.Int("phi", 0, "coin level cap Φ (0 = default)")
@@ -47,6 +52,15 @@ func main() {
 	)
 	flag.Parse()
 
+	if *alg == "list" {
+		printRegistry(*n)
+		return
+	}
+	entry, ok := protocols.Lookup(*alg)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "leaderelect: unknown protocol %q (try -alg list)\n", *alg)
+		os.Exit(2)
+	}
 	if _, err := sim.ParseBackend(*backend); err != nil {
 		fmt.Fprintln(os.Stderr, "leaderelect:", err)
 		os.Exit(2)
@@ -89,7 +103,13 @@ func main() {
 		if *probe > 0 {
 			opts = append(opts, popelect.WithCensusTimeline(*probe))
 		}
-		res, err := popelect.ElectWith(popelect.Algorithm(*alg), *n, opts...)
+		run := popelect.ElectWith
+		if !entry.Elects {
+			// Scenario protocols stabilize without electing; skip the
+			// one-leader verification.
+			run = popelect.Stabilize
+		}
+		res, err := run(popelect.Algorithm(*alg), *n, opts...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "leaderelect:", err)
 			os.Exit(1)
@@ -108,15 +128,53 @@ func main() {
 				fmt.Printf("census series written to %s\n", path)
 			}
 		}
-		if res.LeaderID >= 0 {
+		switch {
+		case res.LeaderID >= 0:
 			fmt.Printf("trial %d: leader = agent %d after %d interactions (parallel time %.1f)\n",
 				t, res.LeaderID, res.Interactions, res.ParallelTime)
-		} else {
+		case entry.Elects:
 			// The counts backend elects an anonymous leader.
 			fmt.Printf("trial %d: unique leader elected after %d interactions (parallel time %.1f)\n",
 				t, res.Interactions, res.ParallelTime)
+		default:
+			fmt.Printf("trial %d: %s stabilized after %d interactions (parallel time %.1f)\n",
+				t, *alg, res.Interactions, res.ParallelTime)
 		}
 	}
+}
+
+// printRegistry renders the protocol registry as a table: the single
+// source of protocol names, capabilities and defaults (-alg list).
+func printRegistry(n int) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "name\tprotocol\tpaper states\tpaper time\telects\tbackends\tstates@n\tΓ(n)")
+	for _, e := range protocols.All() {
+		size := n
+		if e.MaxN != 0 && size > e.MaxN {
+			size = e.MaxN
+		}
+		backends, states := "dense", "—"
+		switch inst, err := e.New(size, protocols.Overrides{}); {
+		case err != nil:
+			backends = "error: " + err.Error()
+		case inst.Enumerable():
+			backends = "dense+counts"
+			states = fmt.Sprintf("%d", inst.StateCount())
+		}
+		gamma := "—"
+		if g := e.DefaultGamma(size, protocols.Overrides{}); g != 0 {
+			gamma = fmt.Sprintf("%d", g)
+		}
+		elects := "no"
+		if e.Elects {
+			elects = "yes"
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
+			e.Name, e.Display, e.PaperStates, e.PaperTime, elects, backends, states, gamma)
+	}
+	w.Flush()
+	fmt.Printf("\nstates@n: generated enumeration size at n=%d (size-capped protocols at their cap)\n", n)
+	fmt.Println("see README 'Protocols' for the composing-a-new-protocol walkthrough")
 }
 
 // printTimeline renders a recorded census timeline as a table.

@@ -1,0 +1,244 @@
+package compose
+
+import (
+	"popelect/internal/junta"
+	"popelect/internal/phaseclock"
+	"popelect/internal/syntheticcoin"
+)
+
+// Clock is the junta-driven phase-clock relay (Section 3 of the paper):
+// every responder updates its phase from the initiator's through
+// phaseclock.FollowerNext, junta members through phaseclock.JuntaNext, and
+// the module publishes the round signal (pass through 0, early/late half)
+// to Env for the clocked modules downstream.
+type Clock struct {
+	// Phase is the packed phase field (Card = Γ).
+	Phase Field
+	// Gamma is the clock resolution Γ.
+	Gamma uint8
+	// JuntaMask/JuntaVal, when JuntaMask is nonzero, identify clock
+	// leaders by a masked word compare — junta ⇔ s & JuntaMask ==
+	// JuntaVal — keeping the per-interaction relay free of closure
+	// dispatch (GS18's "level = Φ" and the core protocol's "role C at
+	// level Φ" both have this shape).
+	JuntaMask uint32
+	JuntaVal  uint32
+	// IsJunta is the general junta predicate, used when JuntaMask is 0
+	// (the lottery's "rank draw finished and rank ≥ threshold").
+	IsJunta func(s uint32) bool
+}
+
+// Fields implements Module.
+func (c *Clock) Fields() []Field { return []Field{c.Phase} }
+
+// Deliver implements Module: advance the responder's phase and publish the
+// round signal.
+func (c *Clock) Deliver(env Env, r, i uint32) (Env, uint32, uint32) {
+	r, env.Passed, env.Half = c.Advance(r, i)
+	return env, r, i
+}
+
+// Advance applies the relay outside a module chain (the core protocol
+// consumes it directly), returning the updated responder word, the
+// pass-through-0 signal and the cycle half.
+func (c *Clock) Advance(r, i uint32) (uint32, bool, phaseclock.Half) {
+	old := uint8(c.Phase.Get(r))
+	other := uint8(c.Phase.Get(i))
+	var junta bool
+	if c.JuntaMask != 0 {
+		junta = r&c.JuntaMask == c.JuntaVal
+	} else {
+		junta = c.IsJunta(r)
+	}
+	var next uint8
+	if junta {
+		next = phaseclock.JuntaNext(c.Gamma, old, other)
+	} else {
+		next = phaseclock.FollowerNext(c.Gamma, old, other)
+	}
+	return c.Phase.Set(r, uint32(next)), phaseclock.PassedZero(old, next), phaseclock.HalfOf(c.Gamma, old, next)
+}
+
+// Parity is the parity synthetic coin of AAE+17 (package syntheticcoin):
+// the responder toggles its parity bit every interaction, and the module
+// publishes the coin read off the initiator's bit to Env.Coin for the
+// modules that flip it.
+type Parity struct {
+	// Bit is the packed parity flag.
+	Bit Field
+}
+
+// Fields implements Module.
+func (p *Parity) Fields() []Field { return []Field{p.Bit} }
+
+// Deliver implements Module.
+func (p *Parity) Deliver(env Env, r, i uint32) (Env, uint32, uint32) {
+	env.Coin = syntheticcoin.Read(uint8(p.Bit.Get(i)))
+	return env, p.Bit.Toggle(r), i
+}
+
+// Levels is junta formation (Section 5, package junta): agents climb coin
+// levels 0..Φ by junta.Next until they stop, and the level-Φ agents are
+// the clock junta. OnReach lets a composition react to an agent reaching
+// the top level (GS18 mints its leader candidates there).
+type Levels struct {
+	// Level is the packed level field (Card = Φ+1).
+	Level Field
+	// Stop is the stopped-climbing flag.
+	Stop Field
+	// Phi is the level cap Φ.
+	Phi uint8
+	// Other classifies the initiator for the climb rule: its level and
+	// whether it counts as a coin. Nil means every initiator is a coin at
+	// this module's own Level field — the whole-population climb of GS18.
+	Other func(i uint32) (level uint8, isCoin bool)
+	// OnReach, if non-nil, transforms the responder word when it first
+	// reaches level Φ.
+	OnReach func(r uint32) uint32
+}
+
+// Fields implements Module.
+func (m *Levels) Fields() []Field { return []Field{m.Level, m.Stop} }
+
+// AtTop reports whether a word sits at level Φ — the junta predicate of
+// compositions whose clock leaders are the top-level climbers.
+func (m *Levels) AtTop(s uint32) bool { return m.Level.Get(s) == uint32(m.Phi) }
+
+// Deliver implements Module.
+func (m *Levels) Deliver(env Env, r, i uint32) (Env, uint32, uint32) {
+	return env, m.Climb(r, i), i
+}
+
+// Climb applies one climb step to the responder word (a no-op once
+// stopped). The core protocol calls it directly for its coin role.
+func (m *Levels) Climb(r, i uint32) uint32 {
+	if m.Stop.On(r) {
+		return r
+	}
+	oldLevel := uint8(m.Level.Get(r))
+	otherLevel, otherIsCoin := uint8(0), true
+	if m.Other != nil {
+		otherLevel, otherIsCoin = m.Other(i)
+	} else {
+		otherLevel = uint8(m.Level.Get(i))
+	}
+	lvl, mode := junta.Next(oldLevel, junta.Advancing, otherIsCoin, otherLevel, m.Phi)
+	r = m.Level.Set(r, uint32(lvl))
+	if mode == junta.Stopped {
+		r = m.Stop.Set(r, 1)
+	}
+	if lvl == m.Phi && oldLevel != m.Phi && m.OnReach != nil {
+		r = m.OnReach(r)
+	}
+	return r
+}
+
+// Flip values of the Rounds module (and the protocols composed from it).
+const (
+	FlipNone uint32 = iota
+	FlipHeads
+	FlipTails
+)
+
+// FlipRank orders flip values for candidate duels: heads beats an unflipped
+// candidate beats tails.
+func FlipRank(f uint32) int {
+	switch f {
+	case FlipHeads:
+		return 2
+	case FlipNone:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Rounds is the clocked coin-flip elimination of GS18 (Section 4 there;
+// the lottery baseline's tie-break plays the same rounds): per clock round,
+// every warm candidate flips the synthetic coin once in the early half;
+// "heads were drawn" spreads by one-way epidemic in the late half, and a
+// tails-holding candidate that learns of heads withdraws. A pass through 0
+// resets the per-round flip state and pays down the warm-up counter.
+type Rounds struct {
+	// Cand is the live-candidate flag (withdrawing clears it).
+	Cand Field
+	// Flip holds the candidate's flip this round (FlipNone/Heads/Tails).
+	Flip Field
+	// Heads is the "heads were drawn this round" epidemic bit.
+	Heads Field
+	// Warm counts rounds to sit out before flipping starts.
+	Warm Field
+	// Gate, if non-nil, must also hold for the responder to flip (the
+	// lottery gates flipping on a finished rank draw).
+	Gate func(s uint32) bool
+}
+
+// Fields implements Module.
+func (m *Rounds) Fields() []Field { return []Field{m.Cand, m.Flip, m.Heads, m.Warm} }
+
+// Deliver implements Module.
+func (m *Rounds) Deliver(env Env, r, i uint32) (Env, uint32, uint32) {
+	// Round reset on a pass through 0.
+	if env.Passed {
+		r = m.Flip.Clear(r)
+		r = m.Heads.Clear(r)
+		if w := m.Warm.Get(r); w > 0 {
+			r = m.Warm.Set(r, w-1)
+		}
+	}
+	// Early half: a warm candidate flips the coin once per round.
+	if m.Cand.On(r) && env.Half == phaseclock.Early &&
+		m.Flip.Get(r) == FlipNone && m.Warm.Get(r) == 0 &&
+		(m.Gate == nil || m.Gate(r)) {
+		if env.Coin {
+			r = m.Flip.Set(r, FlipHeads)
+			r = m.Heads.Set(r, 1)
+		} else {
+			r = m.Flip.Set(r, FlipTails)
+		}
+	}
+	// Late half: "heads exist" spreads by one-way epidemic; a tails
+	// candidate that learns of heads withdraws.
+	if env.Half == phaseclock.Late && !m.Heads.On(r) && m.Heads.On(i) {
+		r = m.Heads.Set(r, 1)
+		if m.Cand.On(r) && m.Flip.Get(r) == FlipTails {
+			r = m.Cand.Clear(r)
+		}
+	}
+	return env, r, i
+}
+
+// Duel is the direct-elimination backup: when two eligible candidates
+// meet, exactly one survives, so the candidate count can never reach 0 and
+// a unique leader is guaranteed regardless of clock health.
+type Duel struct {
+	// Cand is the live-candidate flag the loser clears.
+	Cand Field
+	// Eligible qualifies a word for dueling (nil: any live candidate).
+	Eligible func(s uint32) bool
+	// Senior orders the two candidates: a positive value means the
+	// initiator outranks the responder (the responder withdraws); zero or
+	// negative eliminates the initiator, so exact ties keep the
+	// responder.
+	Senior func(r, i uint32) int
+}
+
+// Fields implements Module: the candidate flag belongs to Rounds in the
+// shipped compositions, so Duel declares no fields of its own.
+func (m *Duel) Fields() []Field { return nil }
+
+// Deliver implements Module.
+func (m *Duel) Deliver(env Env, r, i uint32) (Env, uint32, uint32) {
+	eligible := m.Eligible
+	if eligible == nil {
+		eligible = m.Cand.On
+	}
+	if eligible(r) && eligible(i) {
+		if m.Senior(r, i) > 0 {
+			r = m.Cand.Clear(r)
+		} else {
+			i = m.Cand.Clear(i)
+		}
+	}
+	return env, r, i
+}

@@ -3,8 +3,25 @@ package core
 import (
 	"fmt"
 
-	"popelect/internal/junta"
+	"popelect/internal/compose"
 	"popelect/internal/phaseclock"
+)
+
+// Packed-field descriptors of the state layout (see state.go), shared by
+// the compose-kit modules the protocol consumes and the generated
+// state-space enumeration. The leader-role fields overlay the coin and
+// inhibitor payload bits, so only the per-role Space variants combine them.
+func fieldPhase(gamma uint8) compose.Field { return compose.At(0, 8, uint32(gamma)) }
+
+var (
+	fieldLevel = compose.At(levelShift, 4, levelMask+1) // coin level / inhibitor drag
+	fieldStop  = compose.At(15, 1, 2)                   // stopBit
+	fieldHigh  = compose.At(16, 1, 2)                   // highBit
+	fieldMode  = compose.At(lmodeShift, 2, 3)           // leader mode A/P/W
+	fieldFlip  = compose.At(flipShift, 2, 3)            // flip none/heads/tails
+	fieldHeads = compose.At(15, 1, 2)                   // headsSeenBit
+	fieldCnt   = compose.At(cntShift, 6, cntMask+1)     // round counter
+	fieldDrag  = compose.At(ldragShift, 4, ldragMask+1) // leader drag
 )
 
 // Protocol implements sim.Protocol for the paper's leader-election protocol.
@@ -15,6 +32,12 @@ type Protocol struct {
 	phi     uint8
 	psi     uint8
 	initCnt uint8
+
+	// clock and levels are the shared compose-kit modules the protocol
+	// consumes directly: the phase relay every responder runs, and the
+	// Section 5 coin preprocessing of the C role.
+	clock  compose.Clock
+	levels compose.Levels
 }
 
 // New builds a protocol instance from validated parameters.
@@ -22,13 +45,32 @@ func New(p Params) (*Protocol, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	return &Protocol{
+	pr := &Protocol{
 		params:  p,
 		gamma:   uint8(p.Gamma),
 		phi:     uint8(p.Phi),
 		psi:     uint8(p.Psi),
 		initCnt: uint8(p.InitialCnt()),
-	}, nil
+	}
+	pr.clock = compose.Clock{
+		Phase: fieldPhase(pr.gamma),
+		Gamma: pr.gamma,
+		// Junta ⇔ a coin at level Φ (pr.isJunta), expressed as one
+		// masked compare over the role and level bits for the hot path.
+		JuntaMask: uint32(roleMask)<<roleShift | fieldLevel.Mask(),
+		JuntaVal:  uint32(RoleC)<<roleShift | fieldLevel.Set(0, uint32(p.Phi)),
+	}
+	pr.levels = compose.Levels{
+		Level: fieldLevel,
+		Stop:  fieldStop,
+		Phi:   pr.phi,
+		// Only coins advance other coins; every other role stops a climb.
+		Other: func(i uint32) (uint8, bool) {
+			st := State(i)
+			return st.CoinLevel(), st.Role() == RoleC
+		},
+	}
+	return pr, nil
 }
 
 // MustNew is New for known-good parameters; it panics on error.
@@ -67,21 +109,12 @@ func (pr *Protocol) isJunta(s State) bool {
 }
 
 // Delta implements sim.Protocol. The responder r always relays the phase
-// clock; on top of that, the role-specific rules of Sections 4–8 apply. The
-// initiator i changes only under the symmetry-breaking rule (1) and the
-// slow-backup rule (11).
+// clock (the shared compose.Clock module); on top of that, the
+// role-specific rules of Sections 4–8 apply. The initiator i changes only
+// under the symmetry-breaking rule (1) and the slow-backup rule (11).
 func (pr *Protocol) Delta(r, i State) (State, State) {
-	oldPhase := r.Phase()
-	var newPhase uint8
-	if pr.isJunta(r) {
-		newPhase = phaseclock.JuntaNext(pr.gamma, oldPhase, i.Phase())
-	} else {
-		newPhase = phaseclock.FollowerNext(pr.gamma, oldPhase, i.Phase())
-	}
-	passed := phaseclock.PassedZero(oldPhase, newPhase)
-	half := phaseclock.HalfOf(pr.gamma, oldPhase, newPhase)
-
-	nr := r.WithPhase(newPhase)
+	w, passed, half := pr.clock.Advance(uint32(r), uint32(i))
+	nr := State(w)
 	ni := i
 
 	switch r.Role() {
@@ -104,11 +137,9 @@ func (pr *Protocol) Delta(r, i State) (State, State) {
 			ni = i.withInhib(0, false, false)
 		}
 	case RoleC:
-		if !r.CoinStopped() {
-			lvl, mode := junta.Next(r.CoinLevel(), junta.Advancing,
-				i.Role() == RoleC, i.CoinLevel(), pr.phi)
-			nr = nr.withCoin(lvl, mode == junta.Stopped)
-		}
+		// Section 5 coin preprocessing through the shared junta-formation
+		// module (a no-op once the coin has stopped climbing).
+		nr = State(pr.levels.Climb(uint32(nr), uint32(i)))
 	case RoleI:
 		nr = pr.inhibitorDelta(nr, i, half)
 	case RoleL:
@@ -274,51 +305,39 @@ func (pr *Protocol) Stable(counts []int64) bool {
 	return counts[ClassActive]+counts[ClassPassive] == 1 && counts[ClassZero] <= 1
 }
 
-// States implements sim.Enumerable: every packed State whose fields lie
-// within their role's bit ranges — a finite superset of the reachable space
-// (the payload masks are wider than the parameter bounds Φ and Ψ, which is
-// harmless: unreachable states never acquire census counts). This lets the
-// counts backend run the paper's protocol at populations of 10⁸–10⁹.
+// Space declares the packed state space as compose-kit role variants: each
+// role's payload fields with their parameter-bounded reachable ranges —
+// coin levels and scheduled-coin arguments capped at Φ, drag values at Ψ,
+// the round counter at InitialCnt. This is what generates States(); the
+// core closure tests (and the registry-wide ones) assert that whole runs
+// never leave it.
+func (pr *Protocol) Space() *compose.Space {
+	phase := fieldPhase(pr.gamma).Dim()
+	role := func(rl Role) uint32 { return uint32(rl) << roleShift }
+	sp := compose.NewSpace()
+	// Phase-only roles.
+	sp.Variant(role(RoleZero), phase)
+	sp.Variant(role(RoleX), phase)
+	sp.Variant(role(RoleD), phase)
+	// Coins: level × stopped.
+	sp.Variant(role(RoleC), phase, fieldLevel.DimTo(uint32(pr.phi)), fieldStop.Dim())
+	// Inhibitors: drag × stopped × high.
+	sp.Variant(role(RoleI), phase, fieldLevel.DimTo(uint32(pr.psi)), fieldStop.Dim(), fieldHigh.Dim())
+	// Leader candidates: mode × flip × headsSeen × cnt × drag.
+	sp.Variant(role(RoleL), phase, fieldMode.Dim(), fieldFlip.Dim(), fieldHeads.Dim(),
+		fieldCnt.DimTo(uint32(pr.initCnt)), fieldDrag.DimTo(uint32(pr.psi)))
+	return sp
+}
+
+// States implements sim.Enumerable: the enumeration generated from Space —
+// a finite superset of the reachable states (flag combinations that no
+// rule produces are harmless: they never acquire census counts). This lets
+// the counts backend run the paper's protocol at populations of 10⁸–10⁹.
 func (pr *Protocol) States() []State {
-	gamma := State(pr.gamma)
-	perPhase := 3 + 2*(levelMask+1) + 4*(levelMask+1) +
-		3*int(flipMask+1)*2*int(cntMask+1)*int(ldragMask+1)
-	out := make([]State, 0, int(gamma)*perPhase)
-	for phase := State(0); phase < gamma; phase++ {
-		// Phase-only roles.
-		for _, role := range [...]Role{RoleZero, RoleX, RoleD} {
-			out = append(out, phase|State(role)<<roleShift)
-		}
-		// Coins: level × stopped.
-		coin := phase | State(RoleC)<<roleShift
-		for lvl := State(0); lvl <= levelMask; lvl++ {
-			for _, stop := range [...]State{0, stopBit} {
-				out = append(out, coin|lvl<<levelShift|stop)
-			}
-		}
-		// Inhibitors: drag × stopped × high.
-		inhib := phase | State(RoleI)<<roleShift
-		for drag := State(0); drag <= levelMask; drag++ {
-			for _, stop := range [...]State{0, stopBit} {
-				for _, high := range [...]State{0, highBit} {
-					out = append(out, inhib|drag<<levelShift|stop|high)
-				}
-			}
-		}
-		// Leader candidates: mode × flip × headsSeen × cnt × drag.
-		lead := phase | State(RoleL)<<roleShift
-		for mode := State(ModeActive); mode <= State(ModeWithdrawn); mode++ {
-			for flip := State(0); flip <= flipMask; flip++ {
-				for _, heads := range [...]State{0, headsSeenBit} {
-					for cnt := State(0); cnt <= cntMask; cnt++ {
-						for drag := State(0); drag <= ldragMask; drag++ {
-							out = append(out, lead|mode<<lmodeShift|flip<<flipShift|
-								heads|cnt<<cntShift|drag<<ldragShift)
-						}
-					}
-				}
-			}
-		}
+	words := pr.Space().States()
+	out := make([]State, len(words))
+	for k, w := range words {
+		out[k] = State(w)
 	}
 	return out
 }

@@ -4,9 +4,8 @@ import (
 	"fmt"
 	"path/filepath"
 
-	"popelect/internal/core"
 	"popelect/internal/phaseclock"
-	"popelect/internal/protocols/gs18"
+	"popelect/internal/protocols"
 	"popelect/internal/rng"
 	"popelect/internal/sim"
 	"popelect/internal/stats"
@@ -63,25 +62,17 @@ func ClockSpan(cfg Config) []*Table {
 			}{fmt.Sprintf("%d (derived)", g), g})
 		}
 		for _, gm := range gammas {
+			// The two protocols whose clock sensitivity motivated the
+			// derived Γ(n), resolved through the registry (GS18 is the
+			// clock-sensitive baseline, GSU19 the paper's protocol with
+			// its passive/drag safety net).
 			for _, alg := range []string{"gs18", "gsu19"} {
 				conv, torn := 0, 0
 				maxBulk, maxFull := 0, 0
 				var sumPar float64
 				for trial := 0; trial < trials; trial++ {
-					var res sim.Result
-					var bulk, full int
-					switch alg {
-					case "gs18":
-						pr := gs18.MustNew(gs18.Params{N: n, Gamma: gm.gamma, Phi: gs18.ChoosePhi(n)})
-						res, bulk, full = clockSpanRun[uint32](cfg, pr, gm.gamma, trial,
-							func(s uint32) uint8 { return uint8(s & 0xff) })
-					case "gsu19":
-						params := coreParams(cfg, n)
-						params.Gamma = gm.gamma
-						pr := core.MustNew(params)
-						res, bulk, full = clockSpanRun[core.State](cfg, pr, gm.gamma, trial,
-							core.State.Phase)
-					}
+					inst := protocols.MustNew(alg, n, protocols.Overrides{Gamma: gm.gamma})
+					res, bulk, full := clockSpanRun(cfg, inst, gm.gamma, trial)
 					if res.Converged {
 						conv++
 						sumPar += res.ParallelTime()
@@ -129,22 +120,28 @@ func ClockSpan(cfg Config) []*Table {
 // clockSpanRun executes one protocol trial to stabilization (or the span
 // budget) on the counts backend with a phase-span probe attached,
 // returning the run result, the maximum bulk (99%-mass) span and the
-// maximum full occupied-phase span observed across probes.
-func clockSpanRun[S comparable, P sim.Protocol[S]](cfg Config, pr P, gamma, trial int, phase func(S) uint8) (sim.Result, int, int) {
-	n := pr.N()
-	eng, err := sim.NewEngine[S, P](pr, rng.NewStream(cfg.Seed+53, uint64(n)+uint64(trial)), sim.BackendCounts)
+// maximum full occupied-phase span observed across probes. Phases are read
+// through the registry's packed-word view — every clocked protocol packs
+// its phase in the low byte (Entry.Clocked).
+func clockSpanRun(cfg Config, inst protocols.Instance, gamma, trial int) (sim.Result, int, int) {
+	n := inst.N()
+	eng, err := inst.Engine(rng.NewStream(cfg.Seed+53, uint64(n)+uint64(trial)), sim.BackendCounts)
 	if err != nil {
 		panic(err)
 	}
 	applyBatch(eng, cfg)
 	eng.SetBudget(clockSpanBudget * uint64(n))
 	meter := phaseclock.NewSpanMeter(gamma)
-	probe := func(step uint64, v sim.CensusView[S]) {
+	probe := func(step uint64, v protocols.Census) {
 		meter.Begin()
-		v.VisitStates(func(s S, count int64) { meter.Add(phase(s), count) })
+		if err := inst.VisitWords(v, func(word uint32, count int64) {
+			meter.Add(uint8(word&0xff), count)
+		}); err != nil {
+			panic(err)
+		}
 		meter.End()
 	}
-	if err := sim.AddProbe[S](eng, probe, uint64(n)); err != nil {
+	if err := inst.AddProbe(eng, probe, uint64(n)); err != nil {
 		panic(err)
 	}
 	res := eng.Run()

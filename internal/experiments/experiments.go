@@ -13,7 +13,6 @@ import (
 	"popelect/internal/core"
 	"popelect/internal/phaseclock"
 	"popelect/internal/protocols/gs18"
-	"popelect/internal/protocols/lottery"
 	"popelect/internal/sim"
 )
 
@@ -275,16 +274,6 @@ func coreParams(cfg Config, n int) core.Params {
 // honoring the Γ override.
 func gs18Params(cfg Config, n int) gs18.Params {
 	p := gs18.DefaultParams(n)
-	if cfg.Gamma != 0 {
-		p.Gamma = cfg.Gamma
-	}
-	return p
-}
-
-// lotteryParams returns the lottery baseline's parameters for n under cfg,
-// honoring the Γ override.
-func lotteryParams(cfg Config, n int) lottery.Params {
-	p := lottery.DefaultParams(n)
 	if cfg.Gamma != 0 {
 		p.Gamma = cfg.Gamma
 	}

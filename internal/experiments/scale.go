@@ -4,18 +4,20 @@ import (
 	"fmt"
 	"time"
 
-	"popelect/internal/core"
-	"popelect/internal/protocols/gs18"
+	"popelect/internal/protocols"
 	"popelect/internal/rng"
 	"popelect/internal/sim"
 )
 
-// Scale measures leader election in the paper's asymptotic regime: GS18 and
-// GSU19 on the counts backend, which represents the population as a
-// state→count census and advances interactions in aggregated batches. This
-// is the experiment the backend architecture exists for — populations of
-// 10⁸–10⁹ agents (pass e.g. `-sizes 100000000` to cmd/paperbench) where the
-// dense per-agent runner would need hours per trial.
+// Scale measures the paper's asymptotic regime on the counts backend,
+// which represents the population as a state→count census and advances
+// interactions in aggregated batches. This is the experiment the backend
+// architecture exists for — populations of 10⁸–10⁹ agents (pass e.g.
+// `-sizes 100000000` to cmd/paperbench) where the dense per-agent runner
+// would need hours per trial. The protocol set is the registry's
+// counts-capable slice: the election protocols plus the composed scenario
+// protocols, skipping entries whose practical size cap (slow's Θ(n²)
+// interactions) excludes the configured sizes.
 func Scale(cfg Config) []*Table {
 	trials := cfg.Trials
 	if trials > 3 {
@@ -23,29 +25,25 @@ func Scale(cfg Config) []*Table {
 	}
 	t := &Table{
 		ID:    "scale",
-		Title: "counts-backend leader election at large n",
-		Columns: []string{"n", "alg", "converged", "par.time mean",
+		Title: "counts-backend stabilization at large n",
+		Columns: []string{"n", "protocol", "converged", "par.time mean",
 			"interactions", "distinct states (max)", "Minter/s"},
 	}
 	for _, n := range cfg.Sizes {
-		runScaleRow(t, "gs18", n, trials, cfg,
-			func(tr int) sim.Engine {
-				pr := gs18.MustNew(gs18Params(cfg, n))
-				eng, err := sim.NewEngine[uint32, *gs18.Protocol](pr, trialSource(cfg, tr), sim.BackendCounts)
-				if err != nil {
-					panic(err)
-				}
-				return applyBatch(eng, cfg)
-			})
-		runScaleRow(t, "gsu19", n, trials, cfg,
-			func(tr int) sim.Engine {
-				pr := core.MustNew(coreParams(cfg, n))
-				eng, err := sim.NewEngine[core.State, *core.Protocol](pr, trialSource(cfg, tr), sim.BackendCounts)
-				if err != nil {
-					panic(err)
-				}
-				return applyBatch(eng, cfg)
-			})
+		for _, e := range protocols.All() {
+			if e.MaxN != 0 && n > e.MaxN {
+				continue
+			}
+			inst, err := e.New(n, protocols.Overrides{Gamma: cfg.Gamma})
+			if err != nil {
+				t.AddRow(d(n), e.Name, "config error: "+err.Error(), "—", "—", "—", "—")
+				continue
+			}
+			if !inst.Enumerable() {
+				continue // dense-only protocols have no large-n story
+			}
+			runScaleRow(t, e.Name, n, trials, cfg, inst)
+		}
 	}
 	t.AddNote("counts backend, batch policy %s (exact per-interaction mode below n=%d)", cfg.Batch, sim.ExactMaxN)
 	t.AddNote("the adaptive default bounds per-batch census drift; fixed batch lengths trade fidelity for throughput (see the biassweep experiment)")
@@ -57,14 +55,19 @@ func trialSource(cfg Config, trial int) *rng.Source {
 	return rng.NewStream(cfg.Seed+31, uint64(trial))
 }
 
-func runScaleRow(t *Table, alg string, n, trials int, cfg Config, mk func(trial int) sim.Engine) {
+func runScaleRow(t *Table, name string, n, trials int, cfg Config, inst protocols.Instance) {
 	conv := 0
 	var sumPar float64
 	var interactions uint64
 	var distinct int
 	start := time.Now()
 	for tr := 0; tr < trials; tr++ {
-		res := mk(tr).Run()
+		eng, err := inst.Engine(trialSource(cfg, tr), sim.BackendCounts)
+		if err != nil {
+			t.AddRow(d(n), name, "engine error: "+err.Error(), "—", "—", "—", "—")
+			return
+		}
+		res := applyBatch(eng, cfg).Run()
 		if res.Converged {
 			conv++
 		}
@@ -75,7 +78,7 @@ func runScaleRow(t *Table, alg string, n, trials int, cfg Config, mk func(trial 
 		}
 	}
 	elapsed := time.Since(start).Seconds()
-	t.AddRow(d(n), alg, fmt.Sprintf("%d/%d", conv, trials), f1(sumPar/float64(trials)),
+	t.AddRow(d(n), name, fmt.Sprintf("%d/%d", conv, trials), f1(sumPar/float64(trials)),
 		fmt.Sprintf("%.3g", float64(interactions)), d(distinct),
 		f1(float64(interactions)/elapsed/1e6))
 }

@@ -4,30 +4,27 @@ import (
 	"fmt"
 	"math"
 
-	"popelect/internal/core"
-	"popelect/internal/protocols/gs18"
-	"popelect/internal/protocols/lottery"
-	"popelect/internal/protocols/slow"
+	"popelect/internal/protocols"
 	"popelect/internal/sim"
 	"popelect/internal/stats"
 )
 
 // Table1 reproduces the paper's Table 1 ("Leader election via population
-// protocols") by measurement: for each protocol and population size it
-// reports the measured convergence time (mean parallel time with a 95% CI
-// and the p90) and the number of distinct states agents actually used. The
-// asymptotic claims of the original table translate into the shape columns:
+// protocols") by measurement: for each registered leader-election protocol
+// and population size it reports the measured convergence time (mean
+// parallel time with a 95% CI and the p90) and the number of distinct
+// states agents actually used. The protocol set, its paper-quoted
+// asymptotics and the Θ(n²)-interaction size caps all come from the
+// protocol registry. The asymptotic claims of the original table translate
+// into the shape columns:
 //
 //	t/ln n      — Θ(1) for nothing here; grows for all (sanity column)
 //	t/ln² n     — ≈ constant for the Θ(log² n) protocols (GS18, lottery)
 //	t/(ln·lnln) — ≈ constant for this paper's protocol
 //	t/n         — ≈ constant for the slow Θ(n) backup
 //
-// The slow protocol needs Θ(n²) interactions, so it is only run up to a
-// size cap and marked "—" beyond it.
+// Size-capped protocols (slow) are marked "—" beyond their cap.
 func Table1(cfg Config) []*Table {
-	const slowCap = 1 << 13
-
 	t := &Table{
 		ID:    "table1",
 		Title: "Leader election via population protocols (measured)",
@@ -35,20 +32,29 @@ func Table1(cfg Config) []*Table {
 			"par.time mean±95%", "p90", "states used", "t/ln²n", "t/(ln·lnln)", "t/n"},
 	}
 
-	runOne := func(name, paperStates, paperTime string, maxN int, run func(n int) ([]sim.Result, error)) {
+	// The paper's Table 1 runs weakest to strongest; the registry leads
+	// with the paper's protocol, so render its election entries reversed.
+	var entries []protocols.Entry
+	for _, e := range protocols.All() {
+		if e.Elects {
+			entries = append(entries, e)
+		}
+	}
+	for k := len(entries) - 1; k >= 0; k-- {
+		e := entries[k]
 		for _, n := range cfg.Sizes {
-			if n > maxN {
-				t.AddRow(name, paperStates, paperTime, d(n), "—", "—", "—", "—", "—", "—")
+			if e.MaxN != 0 && n > e.MaxN {
+				t.AddRow(e.Display, e.PaperStates, e.PaperTime, d(n), "—", "—", "—", "—", "—", "—")
 				continue
 			}
-			rs, err := run(n)
+			rs, err := runTable1Cell(cfg, e, n)
 			if err != nil {
-				t.AddRow(name, paperStates, paperTime, d(n),
+				t.AddRow(e.Display, e.PaperStates, e.PaperTime, d(n),
 					"config error: "+err.Error(), "—", "—", "—", "—", "—")
 				continue
 			}
 			if !sim.AllConverged(rs) {
-				t.AddRow(name, paperStates, paperTime, d(n),
+				t.AddRow(e.Display, e.PaperStates, e.PaperTime, d(n),
 					fmt.Sprintf("only %d/%d converged", sim.ConvergedCount(rs), len(rs)),
 					"—", "—", "—", "—", "—")
 				continue
@@ -64,46 +70,34 @@ func Table1(cfg Config) []*Table {
 			}
 			ln := math.Log(float64(n))
 			lnln := math.Log(ln)
-			t.AddRow(name, paperStates, paperTime, d(n),
+			t.AddRow(e.Display, e.PaperStates, e.PaperTime, d(n),
 				fmt.Sprintf("%.0f±%.0f", mean, hw), f0(p90), d(distinct),
 				f1(mean/(ln*ln)), f1(mean/(ln*lnln)), f3(mean/float64(n)))
 		}
 	}
 
-	trialCfg := func(n int) sim.TrialConfig {
-		return sim.TrialConfig{
-			Trials: cfg.Trials, Seed: cfg.Seed + uint64(n), Workers: cfg.Workers,
-			Backend:     cfg.Backend,
-			Batch:       cfg.Batch,
-			TrackStates: true,
-		}
-	}
-
-	runOne("slow [AAD+04]", "O(1)", "Θ(n)", slowCap, func(n int) ([]sim.Result, error) {
-		p, _ := slow.New(n)
-		return sim.RunTrials[uint32, *slow.Protocol](func(int) *slow.Protocol { return p }, trialCfg(n))
-	})
-	runOne("lottery [BKKO18-style]", "O(log n)", "O(log² n) whp", math.MaxInt, func(n int) ([]sim.Result, error) {
-		p := lottery.MustNew(lotteryParams(cfg, n))
-		// The lottery baseline is dense-only (no finite state-space
-		// enumeration); degrade an explicit counts request to auto, which
-		// falls back to dense for it.
-		tc := trialCfg(n)
-		if tc.Backend == sim.BackendCounts {
-			tc.Backend = sim.BackendAuto
-		}
-		return sim.RunTrials[uint32, *lottery.Protocol](func(int) *lottery.Protocol { return p }, tc)
-	})
-	runOne("gs18 [GS18]", "O(log log n)", "O(log² n) whp", math.MaxInt, func(n int) ([]sim.Result, error) {
-		p := gs18.MustNew(gs18Params(cfg, n))
-		return sim.RunTrials[uint32, *gs18.Protocol](func(int) *gs18.Protocol { return p }, trialCfg(n))
-	})
-	runOne("this work [GSU19]", "O(log log n)", "O(log n·log log n) exp.", math.MaxInt, func(n int) ([]sim.Result, error) {
-		p := core.MustNew(coreParams(cfg, n))
-		return sim.RunTrials[core.State, *core.Protocol](func(int) *core.Protocol { return p }, trialCfg(n))
-	})
-
+	t.AddNote("protocol set, asymptotics and size caps from the protocol registry (internal/protocols)")
 	t.AddNote("states used = distinct packed states observed over a whole run (max across trials); includes the Γ clock phases (derived per size: %s), so compare across protocols, not to the paper's asymptotic counts directly", gammaRange(cfg))
 	t.AddNote("shape columns: the protocol's own column should stay ≈ constant as n grows")
 	return []*Table{t}
+}
+
+// runTable1Cell runs one protocol × size measurement cell.
+func runTable1Cell(cfg Config, e protocols.Entry, n int) ([]sim.Result, error) {
+	inst, err := e.New(n, protocols.Overrides{Gamma: cfg.Gamma})
+	if err != nil {
+		return nil, err
+	}
+	tc := sim.TrialConfig{
+		Trials: cfg.Trials, Seed: cfg.Seed + uint64(n), Workers: cfg.Workers,
+		Backend:     cfg.Backend,
+		Batch:       cfg.Batch,
+		TrackStates: true,
+	}
+	// A counts request degrades to auto for protocols without a
+	// state-space enumeration (auto falls back to dense for them).
+	if tc.Backend == sim.BackendCounts && !inst.Enumerable() {
+		tc.Backend = sim.BackendAuto
+	}
+	return inst.Trials(tc)
 }

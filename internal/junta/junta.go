@@ -108,6 +108,38 @@ func LevelBounds(n int, c0 float64, phi int) (lower, upper []float64) {
 	return lower, upper
 }
 
+// ChoosePhi picks the level cap Φ for protocols whose whole population
+// climbs (GS18-style preprocessing, where every agent reaches level 1 and
+// about half reach level 2, so C_2 ≈ n/2): the largest Φ ≤ maxPhi whose
+// predicted junta size C_Φ stays at or above the lower edge n^0.45 of
+// Lemma 5.3's window, iterating the PredictLevels square-decay recurrence
+// from C_2, floored at 2 (the first level the prediction is seeded at).
+// maxPhi is the packing bound of the caller's level field — the cap is
+// derived from the level math up to whatever the state word can hold,
+// never from a hardcoded loop count. A maxPhi below 2 is honored (the
+// result never exceeds it), floored at 1.
+func ChoosePhi(n int, maxPhi int) int {
+	f := float64(n)
+	low := math.Pow(f, 0.45)
+	phi := 2
+	if maxPhi < 2 {
+		if maxPhi < 1 {
+			return 1
+		}
+		return maxPhi
+	}
+	// PredictLevels indexes from its seed population: pred[k] = C_{k+2}
+	// for the whole-population climb's C_2 = n/2 seed.
+	pred := PredictLevels(n, f/2, maxPhi-2)
+	for l := 3; l <= maxPhi; l++ {
+		if pred[l-2] < low {
+			break
+		}
+		phi = l
+	}
+	return phi
+}
+
 // JuntaSizeBounds returns Lemma 5.3's asymptotic envelope [n^0.45, n^0.77]
 // for the junta size when Φ follows the paper's formula.
 func JuntaSizeBounds(n int) (lo, hi float64) {

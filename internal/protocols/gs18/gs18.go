@@ -14,15 +14,20 @@
 // desynchronized clock could in principle eliminate all candidates, which
 // GS18 guards with additional machinery — the core protocol here guards
 // with passives + the drag counter instead).
+//
+// The protocol is assembled from the compose kit's shared modules — Clock,
+// Parity, Levels, Rounds and Duel, in that delivery order — with the
+// historical state packing preserved bit for bit (the golden-trace tests
+// replay pre-kit traces against it), and its States() enumeration is
+// generated from the declared field ranges.
 package gs18
 
 import (
 	"fmt"
-	"math"
 
+	"popelect/internal/compose"
 	"popelect/internal/junta"
 	"popelect/internal/phaseclock"
-	"popelect/internal/syntheticcoin"
 )
 
 // Params configures the GS18 baseline.
@@ -40,29 +45,16 @@ func DefaultParams(n int) Params {
 	return Params{N: n, Gamma: phaseclock.DefaultGamma(n), Phi: ChoosePhi(n)}
 }
 
-// ChoosePhi picks the level cap so the predicted junta size C_Φ lands
-// inside Lemma 5.3's window [n^0.45, n^0.77]. With the whole population
-// climbing, every agent reaches level 1 and roughly half reach level 2;
-// from there populations square-decay: c_{ℓ+1} = c_ℓ²/2n.
-func ChoosePhi(n int) int {
-	f := float64(n)
-	low := math.Pow(f, 0.45)
-	c := f / 2 // predicted C_2
-	phi := 2
-	for l := 3; l <= 8; l++ {
-		c = c * c / (2 * f)
-		if c < low {
-			break
-		}
-		phi = l
-	}
-	if phi < 2 {
-		phi = 2
-	}
-	return phi
-}
+// MaxPhi is the largest usable level cap: the packed 4-bit level field.
+const MaxPhi = 1<<4 - 1
 
-// State packing (uint32):
+// ChoosePhi picks the level cap so the predicted junta size C_Φ lands
+// inside Lemma 5.3's window [n^0.45, n^0.77], via the junta package's
+// level-population recurrence (junta.ChoosePhi) bounded by the packed
+// level field — not a hardcoded level count.
+func ChoosePhi(n int) int { return junta.ChoosePhi(n, MaxPhi) }
+
+// State packing (uint32), preserved from the pre-kit implementation:
 //
 //	bits  0..7   phase
 //	bits  8..11  level
@@ -72,34 +64,34 @@ func ChoosePhi(n int) int {
 //	bits 15..16  flip (0 none, 1 heads, 2 tails)
 //	bit  17      headsSeen
 //	bits 18..19  warm-up rounds before flipping
+//
+// The layout is reproduced by allocating the module fields in this order;
+// New double-checks the shifts against these constants.
 const (
 	phaseMask    = 0xff
 	levelShift   = 8
-	levelMask    = 0xf
 	stopBit      = 1 << 12
 	parityBit    = 1 << 13
 	candBit      = 1 << 14
 	flipShift    = 15
-	flipMask     = 0x3
 	headsSeenBit = 1 << 17
 	warmShift    = 18
-	warmMask     = 0x3
-)
-
-// Flip values.
-const (
-	flipNone uint32 = iota
-	flipHeads
-	flipTails
 )
 
 const warmupRounds = 2
 
-// Protocol implements sim.Protocol.
+// Protocol implements sim.Protocol (and sim.Enumerable) through the
+// compose kit.
 type Protocol struct {
+	*compose.Enumerated
 	params Params
 	gamma  uint8
 	phi    uint8
+
+	level compose.Field
+	stop  compose.Field
+	cand  compose.Field
+	flip  compose.Field
 }
 
 // New builds a GS18 instance.
@@ -110,10 +102,66 @@ func New(p Params) (*Protocol, error) {
 	if err := phaseclock.Validate(p.Gamma); err != nil {
 		return nil, err
 	}
-	if p.Phi < 2 || p.Phi > 15 {
-		return nil, fmt.Errorf("gs18: Phi %d out of [2, 15]", p.Phi)
+	if p.Phi < 2 || p.Phi > MaxPhi {
+		return nil, fmt.Errorf("gs18: Phi %d out of [2, %d]", p.Phi, MaxPhi)
 	}
-	return &Protocol{params: p, gamma: uint8(p.Gamma), phi: uint8(p.Phi)}, nil
+	pr := &Protocol{params: p, gamma: uint8(p.Gamma), phi: uint8(p.Phi)}
+
+	// The historical packing, reproduced by allocation order.
+	var a compose.Alloc
+	phase := a.Bits(8, uint32(p.Gamma))
+	pr.level = a.Bits(4, uint32(p.Phi)+1)
+	pr.stop = a.Flag()
+	parity := a.Flag()
+	pr.cand = a.Flag()
+	pr.flip = a.Bits(2, 3)
+	heads := a.Flag()
+	warm := a.Bits(2, warmupRounds+1)
+	if err := a.Err(); err != nil {
+		return nil, err
+	}
+	if pr.level.Shift != levelShift || parity.Bit() != parityBit ||
+		pr.cand.Bit() != candBit || pr.flip.Shift != flipShift ||
+		heads.Bit() != headsSeenBit || warm.Shift != warmShift {
+		return nil, fmt.Errorf("gs18: field allocation diverged from the historical packing")
+	}
+
+	levels := &compose.Levels{
+		Level: pr.level, Stop: pr.stop, Phi: pr.phi,
+		// Reaching Φ makes the agent a candidate, with a warm-up before
+		// it joins the coin rounds.
+		OnReach: func(r uint32) uint32 {
+			return warm.Set(pr.cand.Set(r, 1), warmupRounds)
+		},
+	}
+	base, err := compose.Build(compose.Config{
+		Name: fmt.Sprintf("gs18(Γ=%d,Φ=%d)", p.Gamma, p.Phi),
+		N:    p.N,
+		Modules: []compose.Module{
+			// Junta ⇔ level = Φ, as a masked compare on the hot path.
+			&compose.Clock{Phase: phase, Gamma: pr.gamma,
+				JuntaMask: pr.level.Mask(), JuntaVal: pr.level.Set(0, uint32(pr.phi))},
+			&compose.Parity{Bit: parity},
+			levels,
+			&compose.Rounds{Cand: pr.cand, Flip: pr.flip, Heads: heads, Warm: warm},
+			&compose.Duel{Cand: pr.cand, Senior: func(r, i uint32) int {
+				return compose.FlipRank(pr.flip.Get(i)) - compose.FlipRank(pr.flip.Get(r))
+			}},
+		},
+		NumClasses: numClasses,
+		Class:      pr.classOf,
+		Leader:     pr.cand.On,
+		Stable: func(counts []int64) bool {
+			return counts[ClassCandidate] == 1 && counts[ClassClimbing] == 0
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if pr.Enumerated, err = base.Enumerable(); err != nil {
+		return nil, err
+	}
+	return pr, nil
 }
 
 // MustNew is New for known-good parameters.
@@ -125,110 +173,16 @@ func MustNew(p Params) *Protocol {
 	return pr
 }
 
+// Params returns the protocol's configuration.
+func (pr *Protocol) Params() Params { return pr.params }
+
 // Accessors used by tests and experiments.
 
 // Level extracts the junta level.
-func (pr *Protocol) Level(s uint32) uint8 { return uint8(s >> levelShift & levelMask) }
+func (pr *Protocol) Level(s uint32) uint8 { return uint8(pr.level.Get(s)) }
 
 // Candidate reports whether the agent is a live leader candidate.
-func (pr *Protocol) Candidate(s uint32) bool { return s&candBit != 0 }
-
-// Name implements sim.Protocol.
-func (pr *Protocol) Name() string {
-	return fmt.Sprintf("gs18(Γ=%d,Φ=%d)", pr.params.Gamma, pr.params.Phi)
-}
-
-// N implements sim.Protocol.
-func (pr *Protocol) N() int { return pr.params.N }
-
-// Init implements sim.Protocol.
-func (pr *Protocol) Init(int) uint32 { return 0 }
-
-// Delta implements sim.Protocol.
-func (pr *Protocol) Delta(r, i uint32) (uint32, uint32) {
-	oldPhase := uint8(r & phaseMask)
-	iPhase := uint8(i & phaseMask)
-	var newPhase uint8
-	if pr.Level(r) == pr.phi {
-		newPhase = phaseclock.JuntaNext(pr.gamma, oldPhase, iPhase)
-	} else {
-		newPhase = phaseclock.FollowerNext(pr.gamma, oldPhase, iPhase)
-	}
-	passed := phaseclock.PassedZero(oldPhase, newPhase)
-	half := phaseclock.HalfOf(pr.gamma, oldPhase, newPhase)
-
-	nr := r&^uint32(phaseMask) | uint32(newPhase)
-
-	// The responder toggles its parity bit every interaction (AAE+17).
-	nr ^= parityBit
-
-	// Level climbing; reaching Φ makes the agent a candidate (with a
-	// warm-up before it joins the coin rounds).
-	if nr&stopBit == 0 {
-		oldLevel := pr.Level(nr)
-		lvl, mode := junta.Next(oldLevel, junta.Advancing, true, pr.Level(i), pr.phi)
-		nr = nr&^uint32(levelMask<<levelShift) | uint32(lvl)<<levelShift
-		if mode == junta.Stopped {
-			nr |= stopBit
-		}
-		if lvl == pr.phi && oldLevel != pr.phi {
-			nr |= candBit
-			nr = nr&^uint32(warmMask<<warmShift) | warmupRounds<<warmShift
-		}
-	}
-
-	// Round reset on a pass through 0.
-	if passed {
-		nr &^= uint32(flipMask << flipShift)
-		nr &^= uint32(headsSeenBit)
-		if w := nr >> warmShift & warmMask; w > 0 {
-			nr = nr&^uint32(warmMask<<warmShift) | (w-1)<<warmShift
-		}
-	}
-
-	// Early half: a warm candidate flips the parity coin once per round.
-	if nr&candBit != 0 && half == phaseclock.Early &&
-		nr>>flipShift&flipMask == flipNone && nr>>warmShift&warmMask == 0 {
-		if syntheticcoin.Read(uint8(i >> 13 & 1)) {
-			nr |= flipHeads << flipShift
-			nr |= headsSeenBit
-		} else {
-			nr |= flipTails << flipShift
-		}
-	}
-
-	// Late half: "heads exist" spreads by one-way epidemic; a tails
-	// candidate that learns of heads withdraws.
-	if half == phaseclock.Late && nr&headsSeenBit == 0 && i&headsSeenBit != 0 {
-		nr |= headsSeenBit
-		if nr&candBit != 0 && nr>>flipShift&flipMask == flipTails {
-			nr &^= uint32(candBit)
-		}
-	}
-
-	// Backup duel: two candidates meeting eliminate one directly (heads
-	// beats none beats tails; ties eliminate the initiator).
-	ni := i
-	if nr&candBit != 0 && i&candBit != 0 {
-		if flipRank(i>>flipShift&flipMask) > flipRank(nr>>flipShift&flipMask) {
-			nr &^= uint32(candBit)
-		} else {
-			ni = i &^ uint32(candBit)
-		}
-	}
-	return nr, ni
-}
-
-func flipRank(f uint32) int {
-	switch f {
-	case flipHeads:
-		return 2
-	case flipNone:
-		return 1
-	default:
-		return 0
-	}
-}
+func (pr *Protocol) Candidate(s uint32) bool { return pr.cand.On(s) }
 
 // Census classes.
 const (
@@ -241,53 +195,13 @@ const (
 	numClasses
 )
 
-// NumClasses implements sim.Protocol.
-func (pr *Protocol) NumClasses() int { return numClasses }
-
-// Class implements sim.Protocol.
-func (pr *Protocol) Class(s uint32) uint8 {
+func (pr *Protocol) classOf(s uint32) uint8 {
 	switch {
-	case s&candBit != 0:
+	case pr.cand.On(s):
 		return ClassCandidate
-	case s&stopBit == 0 && pr.Level(s) < pr.phi:
+	case !pr.stop.On(s) && pr.level.Get(s) < uint32(pr.phi):
 		return ClassClimbing
 	default:
 		return ClassFollower
 	}
-}
-
-// Leader implements sim.Protocol.
-func (pr *Protocol) Leader(s uint32) bool { return s&candBit != 0 }
-
-// Stable implements sim.Protocol: one candidate left and no agent that
-// could still become one.
-func (pr *Protocol) Stable(counts []int64) bool {
-	return counts[ClassCandidate] == 1 && counts[ClassClimbing] == 0
-}
-
-// States implements sim.Enumerable: the cross-product of the packed state
-// fields, a finite superset of the reachable space (Γ·(Φ+1)·288 states).
-// This is what lets the counts backend run GS18 at populations of 10⁸–10⁹,
-// where the per-agent dense runner is out of reach.
-func (pr *Protocol) States() []uint32 {
-	out := make([]uint32, 0, int(pr.gamma)*int(pr.phi+1)*288)
-	for phase := uint32(0); phase < uint32(pr.gamma); phase++ {
-		for lvl := uint32(0); lvl <= uint32(pr.phi); lvl++ {
-			for _, stop := range [...]uint32{0, stopBit} {
-				for _, par := range [...]uint32{0, parityBit} {
-					for _, cand := range [...]uint32{0, candBit} {
-						for flip := flipNone; flip <= flipTails; flip++ {
-							for _, heads := range [...]uint32{0, headsSeenBit} {
-								for warm := uint32(0); warm <= warmupRounds; warm++ {
-									out = append(out, phase|lvl<<levelShift|stop|par|cand|
-										flip<<flipShift|heads|warm<<warmShift)
-								}
-							}
-						}
-					}
-				}
-			}
-		}
-	}
-	return out
 }

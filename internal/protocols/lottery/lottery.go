@@ -9,14 +9,21 @@
 //
 // The protocol uses O(log n) states and stabilizes in O(log² n) parallel
 // time with high probability — the [BKKO18]/[AAG18] row of Table 1.
+//
+// It is assembled from the compose kit — the shared Clock, Parity, Rounds
+// and Duel modules plus a protocol-specific geometric-ranking module — with
+// the historical state packing preserved bit for bit. Unlike the pre-kit
+// implementation, the kit generates a States() enumeration (pruned by the
+// protocol's reachability invariants, see newSpace), so the lottery now
+// runs on the counts backend too.
 package lottery
 
 import (
 	"fmt"
 	"math"
 
+	"popelect/internal/compose"
 	"popelect/internal/phaseclock"
-	"popelect/internal/syntheticcoin"
 )
 
 // Params configures the lottery baseline.
@@ -45,7 +52,7 @@ func DefaultParams(n int) Params {
 	return Params{N: n, Gamma: phaseclock.DefaultGamma(n), MaxRank: maxRank, JuntaRank: jr, WarmupReads: 5}
 }
 
-// State packing (uint32):
+// State packing (uint32), preserved from the pre-kit implementation:
 //
 //	bits  0..7   phase
 //	bits  8..13  rank
@@ -58,38 +65,31 @@ func DefaultParams(n int) Params {
 //	bits 26..28  warm-up interactions before ranking
 //	bits 29..30  warm-up rounds before coin flipping
 const (
-	phaseMask      = 0xff
 	rankShift      = 8
-	rankMask       = 0x3f
 	maxSeenShift   = 14
-	maxSeenMask    = 0x3f
 	doneBit        = 1 << 20
 	candBit        = 1 << 21
 	parityBit      = 1 << 22
 	flipShift      = 23
-	flipMask       = 0x3
 	headsSeenBit   = 1 << 25
 	warmShift      = 26
-	warmMask       = 0x7
 	roundWarmShift = 29
-	roundWarmMask  = 0x3
-)
-
-// Flip values.
-const (
-	flipNone uint32 = iota
-	flipHeads
-	flipTails
 )
 
 const flipWarmupRounds = 2
 
-// Protocol implements sim.Protocol.
+// Protocol implements sim.Protocol (and, since the kit rebuild,
+// sim.Enumerable) through the compose kit.
 type Protocol struct {
+	*compose.Enumerated
 	params    Params
 	gamma     uint8
 	maxRank   uint32
 	juntaRank uint32
+
+	rank compose.Field
+	done compose.Field
+	cand compose.Field
 }
 
 // New builds a lottery instance.
@@ -109,12 +109,111 @@ func New(p Params) (*Protocol, error) {
 	if p.WarmupReads < 0 || p.WarmupReads > 7 {
 		return nil, fmt.Errorf("lottery: WarmupReads %d out of [0, 7]", p.WarmupReads)
 	}
-	return &Protocol{
+	pr := &Protocol{
 		params:    p,
 		gamma:     uint8(p.Gamma),
 		maxRank:   uint32(p.MaxRank),
 		juntaRank: uint32(p.JuntaRank),
-	}, nil
+	}
+
+	// The historical packing, reproduced by allocation order.
+	var a compose.Alloc
+	phase := a.Bits(8, uint32(p.Gamma))
+	pr.rank = a.Bits(6, pr.maxRank+1)
+	maxSeen := a.Bits(6, pr.maxRank+1)
+	pr.done = a.Flag()
+	pr.cand = a.Flag()
+	parity := a.Flag()
+	flip := a.Bits(2, 3)
+	heads := a.Flag()
+	warm := a.Bits(3, uint32(p.WarmupReads)+1)
+	roundWarm := a.Bits(2, flipWarmupRounds+1)
+	if err := a.Err(); err != nil {
+		return nil, err
+	}
+	if pr.rank.Shift != rankShift || maxSeen.Shift != maxSeenShift ||
+		pr.done.Bit() != doneBit || pr.cand.Bit() != candBit ||
+		parity.Bit() != parityBit || flip.Shift != flipShift ||
+		heads.Bit() != headsSeenBit || warm.Shift != warmShift ||
+		roundWarm.Shift != roundWarmShift {
+		return nil, fmt.Errorf("lottery: field allocation diverged from the historical packing")
+	}
+
+	rk := &ranking{
+		rank: pr.rank, maxSeen: maxSeen, done: pr.done, cand: pr.cand,
+		warm: warm, roundWarm: roundWarm, maxRank: pr.maxRank,
+	}
+	base, err := compose.Build(compose.Config{
+		Name: fmt.Sprintf("lottery(BKKO18,R=%d)", p.MaxRank),
+		N:    p.N,
+		// Everyone starts as a candidate with warm-up reads pending.
+		Init: func(int) uint32 {
+			return pr.cand.Set(warm.Set(0, uint32(p.WarmupReads)), 1)
+		},
+		Modules: []compose.Module{
+			&compose.Clock{Phase: phase, Gamma: pr.gamma, IsJunta: func(s uint32) bool {
+				return pr.done.On(s) && pr.rank.Get(s) >= pr.juntaRank
+			}},
+			&compose.Parity{Bit: parity},
+			rk,
+			&compose.Rounds{Cand: pr.cand, Flip: flip, Heads: heads, Warm: roundWarm, Gate: pr.done.On},
+			&compose.Duel{Cand: pr.cand,
+				// Only finished candidates duel: higher rank wins, then
+				// heads > none > tails, then the initiator loses.
+				Eligible: func(s uint32) bool { return pr.cand.On(s) && pr.done.On(s) },
+				Senior: func(r, i uint32) int {
+					if d := int(pr.rank.Get(i)) - int(pr.rank.Get(r)); d != 0 {
+						return d
+					}
+					return compose.FlipRank(flip.Get(i)) - compose.FlipRank(flip.Get(r))
+				}},
+		},
+		NumClasses: numClasses,
+		Class:      pr.classOf,
+		Leader:     func(s uint32) bool { return pr.cand.On(s) && pr.done.On(s) },
+		Stable: func(counts []int64) bool {
+			return counts[ClassCandidate] == 1 && counts[ClassRanking] == 0
+		},
+		Space: newSpace(phase, pr.rank, maxSeen, pr.done, pr.cand, parity, flip,
+			heads, warm, roundWarm, pr.maxRank, uint32(p.WarmupReads)),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if pr.Enumerated, err = base.Enumerable(); err != nil {
+		return nil, err
+	}
+	return pr, nil
+}
+
+// newSpace declares the lottery's state space, pruned by its reachability
+// invariants — the full cross product of the packed fields would enumerate
+// tens of millions of words, while the reachable space is bounded by:
+//
+//   - while the ranking warm-up runs (warm > 0): rank = 0, no flip state;
+//   - while ranking (warm = 0, not done): any rank, still no flip state
+//     (flipping requires a finished rank), round warm-up untouched;
+//   - once done: rank frozen, maxSeen ≥ rank (it absorbs the agent's own
+//     rank at the done transition and only grows), full flip machinery.
+//
+// headsSeen and maxSeen spread by epidemic to every agent regardless of
+// progress, so they range freely in all variants. The closure tests run
+// every registered protocol and assert reached ⊆ enumerated.
+func newSpace(phase, rank, maxSeen, done, cand, parity, flip, heads, warm, roundWarm compose.Field,
+	maxRank, warmupReads uint32) *compose.Space {
+	sp := compose.NewSpace()
+	for w := uint32(1); w <= warmupReads; w++ {
+		sp.Variant(cand.Set(warm.Set(0, w), 1),
+			phase.Dim(), maxSeen.Dim(), heads.Dim(), parity.Dim())
+	}
+	sp.Variant(cand.Set(0, 1),
+		phase.Dim(), rank.Dim(), maxSeen.Dim(), heads.Dim(), parity.Dim())
+	for rk := uint32(0); rk <= maxRank; rk++ {
+		sp.Variant(done.Set(rank.Set(0, rk), 1),
+			phase.Dim(), maxSeen.DimRange(rk, maxRank), cand.Dim(), parity.Dim(),
+			flip.Dim(), heads.Dim(), roundWarm.Dim())
+	}
+	return sp
 }
 
 // MustNew is New for known-good parameters.
@@ -126,131 +225,62 @@ func MustNew(p Params) *Protocol {
 	return pr
 }
 
+// Params returns the protocol's configuration.
+func (pr *Protocol) Params() Params { return pr.params }
+
 // Rank extracts an agent's rank.
-func (pr *Protocol) Rank(s uint32) uint32 { return s >> rankShift & rankMask }
+func (pr *Protocol) Rank(s uint32) uint32 { return pr.rank.Get(s) }
 
 // RankDone reports whether an agent has finished drawing its rank.
-func (pr *Protocol) RankDone(s uint32) bool { return s&doneBit != 0 }
+func (pr *Protocol) RankDone(s uint32) bool { return pr.done.On(s) }
 
 // Candidate reports whether an agent is a live candidate.
-func (pr *Protocol) Candidate(s uint32) bool { return s&candBit != 0 }
+func (pr *Protocol) Candidate(s uint32) bool { return pr.cand.On(s) }
 
-// Name implements sim.Protocol.
-func (pr *Protocol) Name() string {
-	return fmt.Sprintf("lottery(BKKO18,R=%d)", pr.params.MaxRank)
+// ranking is the lottery's protocol-specific module: geometric rank draws
+// off the synthetic coin (after a warm-up that lets the parity bits mix),
+// the max-rank one-way epidemic, and withdrawal of outranked candidates.
+type ranking struct {
+	rank, maxSeen, done, cand, warm, roundWarm compose.Field
+	maxRank                                    uint32
 }
 
-// N implements sim.Protocol.
-func (pr *Protocol) N() int { return pr.params.N }
-
-// Init implements sim.Protocol: everyone is a candidate with warm-up reads
-// pending.
-func (pr *Protocol) Init(int) uint32 {
-	return candBit | uint32(pr.params.WarmupReads)<<warmShift
+// Fields implements compose.Module. (cand and roundWarm belong to the
+// Rounds module's declaration.)
+func (m *ranking) Fields() []compose.Field {
+	return []compose.Field{m.rank, m.maxSeen, m.done, m.warm}
 }
 
-// Delta implements sim.Protocol.
-func (pr *Protocol) Delta(r, i uint32) (uint32, uint32) {
-	oldPhase := uint8(r & phaseMask)
-	var newPhase uint8
-	if r&doneBit != 0 && pr.Rank(r) >= pr.juntaRank {
-		newPhase = phaseclock.JuntaNext(pr.gamma, oldPhase, uint8(i&phaseMask))
-	} else {
-		newPhase = phaseclock.FollowerNext(pr.gamma, oldPhase, uint8(i&phaseMask))
-	}
-	passed := phaseclock.PassedZero(oldPhase, newPhase)
-	half := phaseclock.HalfOf(pr.gamma, oldPhase, newPhase)
-
-	nr := r&^uint32(phaseMask) | uint32(newPhase)
-	nr ^= parityBit // synthetic coin toggle
-
-	coin := syntheticcoin.Read(uint8(i >> 22 & 1))
-
+// Deliver implements compose.Module.
+func (m *ranking) Deliver(env compose.Env, r, i uint32) (compose.Env, uint32, uint32) {
 	switch {
-	case nr>>warmShift&warmMask > 0:
+	case m.warm.Get(r) > 0:
 		// Warm-up reads let the parity coin mix before ranking.
-		w := nr >> warmShift & warmMask
-		nr = nr&^uint32(warmMask<<warmShift) | (w-1)<<warmShift
-	case nr&doneBit == 0:
+		r = m.warm.Set(r, m.warm.Get(r)-1)
+	case !m.done.On(r):
 		// Geometric ranking: count heads until the first tails.
-		if coin && pr.Rank(nr) < pr.maxRank {
-			nr += 1 << rankShift
+		if env.Coin && m.rank.Get(r) < m.maxRank {
+			r = m.rank.Set(r, m.rank.Get(r)+1)
 		} else {
-			nr |= doneBit
-			nr = nr&^uint32(roundWarmMask<<roundWarmShift) | flipWarmupRounds<<roundWarmShift
-			if rk := pr.Rank(nr); rk > nr>>maxSeenShift&maxSeenMask {
-				nr = nr&^uint32(maxSeenMask<<maxSeenShift) | rk<<maxSeenShift
+			r = m.done.Set(r, 1)
+			r = m.roundWarm.Set(r, flipWarmupRounds)
+			if rk := m.rank.Get(r); rk > m.maxSeen.Get(r) {
+				r = m.maxSeen.Set(r, rk)
 			}
 		}
 	}
 
 	// Max-rank epidemic: adopt the initiator's maxSeen.
-	if ms := i >> maxSeenShift & maxSeenMask; ms > nr>>maxSeenShift&maxSeenMask {
-		nr = nr&^uint32(maxSeenMask<<maxSeenShift) | ms<<maxSeenShift
+	if ms := m.maxSeen.Get(i); ms > m.maxSeen.Get(r) {
+		r = m.maxSeen.Set(r, ms)
 	}
 
 	// A finished candidate that has heard of a strictly larger rank
 	// withdraws.
-	if nr&candBit != 0 && nr&doneBit != 0 && nr>>maxSeenShift&maxSeenMask > pr.Rank(nr) {
-		nr &^= uint32(candBit)
+	if m.cand.On(r) && m.done.On(r) && m.maxSeen.Get(r) > m.rank.Get(r) {
+		r = m.cand.Clear(r)
 	}
-
-	// Round reset on a pass through 0.
-	if passed {
-		nr &^= uint32(flipMask << flipShift)
-		nr &^= uint32(headsSeenBit)
-		if w := nr >> roundWarmShift & roundWarmMask; w > 0 {
-			nr = nr&^uint32(roundWarmMask<<roundWarmShift) | (w-1)<<roundWarmShift
-		}
-	}
-
-	// Clocked coin rounds among the surviving max-rank candidates, as in
-	// GS18: flip early…
-	if nr&candBit != 0 && nr&doneBit != 0 && half == phaseclock.Early &&
-		nr>>flipShift&flipMask == flipNone && nr>>roundWarmShift&roundWarmMask == 0 {
-		if coin {
-			nr |= flipHeads << flipShift
-			nr |= headsSeenBit
-		} else {
-			nr |= flipTails << flipShift
-		}
-	}
-
-	// …broadcast late; tails-holders that hear of heads withdraw.
-	if half == phaseclock.Late && nr&headsSeenBit == 0 && i&headsSeenBit != 0 {
-		nr |= headsSeenBit
-		if nr&candBit != 0 && nr>>flipShift&flipMask == flipTails {
-			nr &^= uint32(candBit)
-		}
-	}
-
-	// Backup duel between two finished candidates: higher rank wins, then
-	// heads > none > tails, then the initiator loses.
-	ni := i
-	if nr&candBit != 0 && nr&doneBit != 0 && i&candBit != 0 && i&doneBit != 0 {
-		switch {
-		case pr.Rank(i) > pr.Rank(nr):
-			nr &^= uint32(candBit)
-		case pr.Rank(i) < pr.Rank(nr):
-			ni = i &^ uint32(candBit)
-		case flipRank(i>>flipShift&flipMask) > flipRank(nr>>flipShift&flipMask):
-			nr &^= uint32(candBit)
-		default:
-			ni = i &^ uint32(candBit)
-		}
-	}
-	return nr, ni
-}
-
-func flipRank(f uint32) int {
-	switch f {
-	case flipHeads:
-		return 2
-	case flipNone:
-		return 1
-	default:
-		return 0
-	}
+	return env, r, i
 }
 
 // Census classes.
@@ -264,25 +294,13 @@ const (
 	numClasses
 )
 
-// NumClasses implements sim.Protocol.
-func (pr *Protocol) NumClasses() int { return numClasses }
-
-// Class implements sim.Protocol.
-func (pr *Protocol) Class(s uint32) uint8 {
+func (pr *Protocol) classOf(s uint32) uint8 {
 	switch {
-	case s&doneBit == 0:
+	case !pr.done.On(s):
 		return ClassRanking
-	case s&candBit != 0:
+	case pr.cand.On(s):
 		return ClassCandidate
 	default:
 		return ClassFollower
 	}
-}
-
-// Leader implements sim.Protocol: a finished live candidate.
-func (pr *Protocol) Leader(s uint32) bool { return s&candBit != 0 && s&doneBit != 0 }
-
-// Stable implements sim.Protocol.
-func (pr *Protocol) Stable(counts []int64) bool {
-	return counts[ClassCandidate] == 1 && counts[ClassRanking] == 0
 }

@@ -8,35 +8,37 @@
 // O(log log n) states per agent in O(log n · log log n) expected parallel
 // time — and it always elects exactly one leader (a Las Vegas algorithm).
 // The package also ships the comparison baselines of the paper's Table 1
-// (the constant-state slow protocol, GS18, and a BKKO18-style lottery) and
-// the substrates they are built from (junta-driven phase clocks, synthetic
-// coins, one-way epidemics), all runnable through one simulation engine.
+// (the constant-state slow protocol, GS18, and a BKKO18-style lottery),
+// composed scenario protocols built from the same mechanism kit
+// (internal/compose), and the substrates they are built from (junta-driven
+// phase clocks, synthetic coins, one-way epidemics), all runnable through
+// one simulation engine. Every protocol is registered in the unified
+// registry (internal/protocols); Algorithms and Protocols list it.
 //
 // Quick start:
 //
 //	res, err := popelect.Elect(100000, popelect.WithSeed(42))
 //	// res.LeaderID is the unique elected agent.
 //
-// For experiment-grade access (census instrumentation, custom parameters,
-// trial batches) use the internal packages through the cmd/ tools, or
-// Protocol to drive the engine directly.
+// Non-election protocols (majority, broadcast) run through Stabilize. For
+// experiment-grade access (census instrumentation, custom parameters,
+// trial batches) use the internal packages through the cmd/ tools, or the
+// registry's Instance handles to drive the engine directly.
 package popelect
 
 import (
 	"fmt"
 
-	"popelect/internal/core"
-	"popelect/internal/protocols/gs18"
-	"popelect/internal/protocols/lottery"
-	"popelect/internal/protocols/slow"
+	"popelect/internal/protocols"
 	"popelect/internal/rng"
 	"popelect/internal/sim"
 )
 
-// Algorithm selects a leader-election protocol.
+// Algorithm selects a protocol from the registry by name.
 type Algorithm string
 
-// Available algorithms.
+// The paper's leader-election algorithms (the full registry holds more;
+// see Protocols).
 const (
 	// GSU19 is the paper's protocol: O(log log n) states,
 	// O(log n·log log n) expected parallel time, always correct.
@@ -49,14 +51,30 @@ const (
 	Slow Algorithm = "slow"
 )
 
-// Algorithms lists all available algorithms.
-func Algorithms() []Algorithm { return []Algorithm{GSU19, GS18, Lottery, Slow} }
+// Algorithms lists the registered leader-election algorithms.
+func Algorithms() []Algorithm {
+	var out []Algorithm
+	for _, e := range protocols.All() {
+		if e.Elects {
+			out = append(out, Algorithm(e.Name))
+		}
+	}
+	return out
+}
 
-// Result reports one election.
+// Protocols lists every registered protocol name, including the
+// non-election scenario protocols runnable through Stabilize.
+func Protocols() []string { return protocols.Names() }
+
+// Result reports one run.
 type Result struct {
 	// LeaderID is the index of the unique elected agent. It is -1 under
-	// the counts backend, where agents are anonymous (see WithBackend).
+	// the counts backend, where agents are anonymous (see WithBackend),
+	// and for non-election protocols.
 	LeaderID int
+	// Leaders is the number of leader-output agents at stabilization
+	// (1 for elections; 0 for non-election protocols).
+	Leaders int
 	// Interactions is the number of scheduler steps until stabilization.
 	Interactions uint64
 	// ParallelTime is Interactions / n, the paper's time measure.
@@ -70,9 +88,9 @@ type Result struct {
 	Timeline []CensusPoint
 }
 
-// CensusPoint is one sample of a census timeline: the election's dynamics
-// at a given interaction count. It is backend-agnostic — recorded through
-// the census probe pipeline on the dense and the counts engine alike.
+// CensusPoint is one sample of a census timeline: the run's dynamics at a
+// given interaction count. It is backend-agnostic — recorded through the
+// census probe pipeline on the dense and the counts engine alike.
 type CensusPoint struct {
 	// Step is the interaction count of the sample.
 	Step uint64
@@ -96,7 +114,7 @@ type options struct {
 	timelineEvery uint64
 }
 
-// Option configures an election.
+// Option configures a run.
 type Option func(*options)
 
 // WithSeed makes the run deterministic for a given seed.
@@ -105,7 +123,7 @@ func WithSeed(seed uint64) Option { return func(o *options) { o.seed = seed } }
 // WithBudget caps the number of interactions (0 = a generous default).
 func WithBudget(max uint64) Option { return func(o *options) { o.budget = max } }
 
-// WithGamma overrides the phase-clock resolution Γ (GSU19/GS18/Lottery).
+// WithGamma overrides the phase-clock resolution Γ of clocked protocols.
 // The default is derived from the population size — Γ(n) =
 // phaseclock.DefaultGamma(n), the next even value ≥ 2·log₂ n floored at
 // 36 — so that the clock's wrap window Γ/2 always clears the natural
@@ -113,7 +131,8 @@ func WithBudget(max uint64) Option { return func(o *options) { o.budget = max } 
 // large n.
 func WithGamma(gamma int) Option { return func(o *options) { o.gamma = gamma } }
 
-// WithPhi overrides the coin-level cap Φ (GSU19/GS18).
+// WithPhi overrides the coin-level cap Φ (GSU19, GS18 and the clocked
+// scenario protocols).
 func WithPhi(phi int) Option { return func(o *options) { o.phi = phi } }
 
 // WithPsi overrides the drag-counter range Ψ (GSU19).
@@ -159,64 +178,48 @@ func Elect(n int, opts ...Option) (Result, error) {
 	return ElectWith(GSU19, n, opts...)
 }
 
-// ElectWith runs the chosen algorithm on a population of n agents.
+// ElectWith runs the chosen leader-election algorithm on a population of n
+// agents and verifies that exactly one leader was elected.
 func ElectWith(alg Algorithm, n int, opts ...Option) (Result, error) {
+	entry, ok := protocols.Lookup(string(alg))
+	if !ok {
+		return Result{}, fmt.Errorf("popelect: unknown algorithm %q (known: %v)", alg, Protocols())
+	}
+	if !entry.Elects {
+		return Result{}, fmt.Errorf("popelect: %s is not a leader-election protocol (%s); run it with Stabilize",
+			alg, entry.Summary)
+	}
+	res, err := Stabilize(alg, n, opts...)
+	if err != nil {
+		return Result{}, err
+	}
+	if res.Leaders != 1 {
+		return Result{}, fmt.Errorf("popelect: %s stabilized with %d leaders", alg, res.Leaders)
+	}
+	return res, nil
+}
+
+// Stabilize runs any registered protocol (election or scenario) on a
+// population of n agents until its stability predicate holds, without
+// interpreting the output. It is deterministic given WithSeed.
+func Stabilize(alg Algorithm, n int, opts ...Option) (Result, error) {
 	var o options
 	o.seed = 1
 	for _, opt := range opts {
 		opt(&o)
 	}
-	switch alg {
-	case GSU19:
-		params := core.DefaultParams(n)
-		if o.gamma != 0 {
-			params.Gamma = o.gamma
-		}
-		if o.phi != 0 {
-			params.Phi = o.phi
-		}
-		if o.psi != 0 {
-			params.Psi = o.psi
-		}
-		pr, err := core.New(params)
-		if err != nil {
-			return Result{}, err
-		}
-		return run[core.State](pr, o)
-	case GS18:
-		params := gs18.DefaultParams(n)
-		if o.gamma != 0 {
-			params.Gamma = o.gamma
-		}
-		if o.phi != 0 {
-			params.Phi = o.phi
-		}
-		pr, err := gs18.New(params)
-		if err != nil {
-			return Result{}, err
-		}
-		return run[uint32](pr, o)
-	case Lottery:
-		params := lottery.DefaultParams(n)
-		if o.gamma != 0 {
-			params.Gamma = o.gamma
-		}
-		pr, err := lottery.New(params)
-		if err != nil {
-			return Result{}, err
-		}
-		return run[uint32](pr, o)
-	case Slow:
-		pr, err := slow.New(n)
-		if err != nil {
-			return Result{}, err
-		}
-		return run[uint32](pr, o)
+	entry, ok := protocols.Lookup(string(alg))
+	if !ok {
+		return Result{}, fmt.Errorf("popelect: unknown protocol %q (known: %v)", alg, Protocols())
 	}
-	return Result{}, fmt.Errorf("popelect: unknown algorithm %q", alg)
+	inst, err := entry.New(n, protocols.Overrides{Gamma: o.gamma, Phi: o.phi, Psi: o.psi})
+	if err != nil {
+		return Result{}, err
+	}
+	return run(inst, o)
 }
 
-func run[S comparable, P sim.Protocol[S]](pr P, o options) (Result, error) {
+func run(inst protocols.Instance, o options) (Result, error) {
 	backend := sim.BackendDense
 	if o.backend != "" {
 		var err error
@@ -224,7 +227,7 @@ func run[S comparable, P sim.Protocol[S]](pr P, o options) (Result, error) {
 			return Result{}, fmt.Errorf("popelect: %w", err)
 		}
 	}
-	eng, err := sim.NewEngine[S, P](pr, rng.New(o.seed), backend)
+	eng, err := inst.Engine(rng.New(o.seed), backend)
 	if err != nil {
 		return Result{}, fmt.Errorf("popelect: %w", err)
 	}
@@ -244,16 +247,16 @@ func run[S comparable, P sim.Protocol[S]](pr P, o options) (Result, error) {
 	}
 	var timeline []CensusPoint
 	if o.timelineEvery > 0 {
-		record := func(step uint64, v sim.CensusView[S]) {
+		record := func(step uint64, v protocols.Census) {
 			if len(timeline) > 0 && timeline[len(timeline)-1].Step == step {
 				return // run ended exactly on a sample boundary
 			}
 			timeline = append(timeline, CensusPoint{Step: step, Leaders: v.Leaders(), States: v.Occupied()})
 		}
-		if err := sim.AddProbe[S](eng, record, o.timelineEvery); err != nil {
+		if err := inst.AddProbe(eng, record, o.timelineEvery); err != nil {
 			return Result{}, fmt.Errorf("popelect: %w", err)
 		}
-		cv, err := sim.Census[S](eng)
+		cv, err := inst.CensusOf(eng)
 		if err != nil {
 			return Result{}, fmt.Errorf("popelect: %w", err)
 		}
@@ -262,13 +265,11 @@ func run[S comparable, P sim.Protocol[S]](pr P, o options) (Result, error) {
 	res := eng.Run()
 	if !res.Converged {
 		return Result{}, fmt.Errorf("popelect: %s did not stabilize within %d interactions",
-			pr.Name(), res.Interactions)
-	}
-	if res.Leaders != 1 {
-		return Result{}, fmt.Errorf("popelect: %s stabilized with %d leaders", pr.Name(), res.Leaders)
+			inst.Name(), res.Interactions)
 	}
 	return Result{
 		LeaderID:       res.LeaderID,
+		Leaders:        res.Leaders,
 		Interactions:   res.Interactions,
 		ParallelTime:   res.ParallelTime(),
 		DistinctStates: res.DistinctStates,

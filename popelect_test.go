@@ -57,6 +57,36 @@ func TestElectUnknownAlgorithm(t *testing.T) {
 	}
 }
 
+// TestStabilizeScenarioProtocols runs the registry's non-election
+// protocols through the generalized entry point: they stabilize, and
+// ElectWith refuses them with a pointer to Stabilize.
+func TestStabilizeScenarioProtocols(t *testing.T) {
+	elects := make(map[string]bool)
+	for _, alg := range Algorithms() {
+		elects[string(alg)] = true
+	}
+	ran := 0
+	for _, name := range Protocols() {
+		if elects[name] {
+			continue
+		}
+		res, err := Stabilize(Algorithm(name), 600, WithSeed(8))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Interactions == 0 || res.Leaders != 0 {
+			t.Fatalf("%s: %+v", name, res)
+		}
+		if _, err := ElectWith(Algorithm(name), 600); err == nil {
+			t.Fatalf("ElectWith must refuse the non-election protocol %s", name)
+		}
+		ran++
+	}
+	if ran == 0 {
+		t.Fatal("registry lists no scenario protocols")
+	}
+}
+
 func TestElectRejectsTinyPopulation(t *testing.T) {
 	for _, alg := range Algorithms() {
 		if _, err := ElectWith(alg, 1); err == nil {
@@ -119,8 +149,12 @@ func TestElectWithCountsBackend(t *testing.T) {
 	if _, err := ElectWith(GS18, 100, WithBackend("warp")); err == nil {
 		t.Fatal("unknown backend must error")
 	}
-	if _, err := ElectWith(Lottery, 100, WithBackend("counts")); err == nil {
-		t.Fatal("lottery is dense-only; counts must error")
+	// The lottery gained a generated state-space enumeration with the
+	// compose-kit rebuild: it must now elect on the counts backend too.
+	if res, err := ElectWith(Lottery, 2000, WithSeed(4), WithBackend("counts")); err != nil {
+		t.Fatalf("lottery on counts: %v", err)
+	} else if res.LeaderID != -1 || res.Interactions == 0 {
+		t.Fatalf("lottery on counts: %+v", res)
 	}
 }
 
