@@ -395,6 +395,64 @@ func BenchmarkClockSpanGS18Adaptive(b *testing.B) {
 	b.ReportMetric(float64(gamma)/2, "gamma/2")
 }
 
+// --- Multicore counts engine: sharded batch sampling ---
+
+// benchCountsParallel measures steady-state adaptive-policy throughput on
+// a fixed n = 10⁸ interaction slab with the given sampling shard count —
+// the CI smoke over the sharded batch path (the full workers × n grid
+// behind bench-results/parscale.csv runs through the parscale
+// experiment). On a single-core host all worker counts collapse to the
+// same wall time (the shards serialize); the W1-vs-W4 ratio is meaningful
+// only on multicore hardware.
+func benchCountsParallel(b *testing.B, workers int) {
+	const n = 100_000_000
+	const slab = 100_000_000
+	pr := gs18.MustNew(gs18.DefaultParams(n))
+	eng := sim.NewCountsEngine[uint32](pr, rng.New(1))
+	eng.SetBatchPolicy(sim.BatchPolicy{Mode: sim.BatchAdaptive})
+	eng.SetWorkers(workers)
+	// Advance past the initial ramp so iterations measure the bulk phase.
+	eng.RunSteps(slab / 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.RunSteps(slab)
+	}
+	b.ReportMetric(float64(b.N)*slab/b.Elapsed().Seconds()/1e6, "Minteractions/s")
+}
+
+func BenchmarkCountsParallelW1(b *testing.B) { benchCountsParallel(b, 1) }
+func BenchmarkCountsParallelW2(b *testing.B) { benchCountsParallel(b, 2) }
+func BenchmarkCountsParallelW4(b *testing.B) { benchCountsParallel(b, 4) }
+func BenchmarkCountsParallelW8(b *testing.B) { benchCountsParallel(b, 8) }
+
+// BenchmarkComposedDenseGS18 is the composed-dense regression gate the CI
+// bench-smoke job executes: GS18 — a kit-built composition since the
+// compose refactor — must sustain at least the pre-kit dense throughput
+// (14.9 Minteractions/s, measured on the reference 2.7 GHz Xeon) now that
+// the module pipeline compiles into a flat pair-table memo (see
+// compose.DeltaMemo; the compiled path measures ~19.8 on the same host).
+// A drop below the gate means the compiled path stopped engaging — e.g.
+// CompileDelta returning nil for GS18's space — or regressed outright.
+func BenchmarkComposedDenseGS18(b *testing.B) {
+	const floor = 14.9
+	pr := gs18.MustNew(gs18.DefaultParams(1 << 15))
+	var interactions uint64
+	for i := 0; i < b.N; i++ {
+		r := sim.NewRunner[uint32, *gs18.Protocol](pr, rng.New(uint64(i)+1))
+		res := r.Run()
+		if !res.Converged || res.Leaders != 1 {
+			b.Fatalf("iteration %d: %+v", i, res)
+		}
+		interactions += res.Interactions
+	}
+	mps := float64(interactions) / b.Elapsed().Seconds() / 1e6
+	b.ReportMetric(mps, "Minteractions/s")
+	if mps < floor {
+		b.Fatalf("composed dense GS18 throughput %.1f Minteractions/s regressed below the pre-kit %.1f baseline",
+			mps, floor)
+	}
+}
+
 // --- Probe overhead on the counts backend ---
 
 // benchCountsProbe runs one full GS18 election per iteration on the counts

@@ -24,6 +24,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"text/tabwriter"
 
 	"popelect"
@@ -46,6 +48,8 @@ func main() {
 		backend  = flag.String("backend", "dense", "simulation backend: dense, counts or auto (counts scales to n=10⁸–10⁹ but reports no leader agent id)")
 		batch    = flag.String("batch", "auto", "counts-backend batch policy: auto, adaptive, exact, or a fixed batch length")
 		batchEps = flag.Float64("batch-eps", 0, "adaptive batch controller drift bound ε (0 = default)")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "counts-backend sampling shards per batch (fixed value ⇒ byte-identical runs per seed on any machine; 1 = serial)")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		verbose  = flag.Bool("v", false, "print a census timeline (gsu19 only; forces the dense backend)")
 		probe    = flag.Uint64("probe-interval", 0, "record a census sample (leaders, occupied states) every N interactions; works on every backend")
 		series   = flag.String("series", "", "write the recorded census timeline as CSV to this path (requires -probe-interval)")
@@ -73,6 +77,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "leaderelect: -series requires -probe-interval")
 		os.Exit(2)
 	}
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "leaderelect:", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "leaderelect:", err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	if *verbose && (*probe > 0 || *series != "") {
 		// The verbose path prints its own dense-only timeline and would
 		// silently drop the probe flags; make the conflict explicit.
@@ -90,7 +106,8 @@ func main() {
 
 	for t := 0; t < *trials; t++ {
 		opts := []popelect.Option{popelect.WithSeed(*seed + uint64(t)), popelect.WithBackend(*backend),
-			popelect.WithBatchPolicy(*batch), popelect.WithBatchEps(*batchEps)}
+			popelect.WithBatchPolicy(*batch), popelect.WithBatchEps(*batchEps),
+			popelect.WithWorkers(*workers)}
 		if *gamma != 0 {
 			opts = append(opts, popelect.WithGamma(*gamma))
 		}

@@ -19,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -41,7 +43,9 @@ func main() {
 		batchEps = flag.Float64("batch-eps", 0, "adaptive batch controller drift bound ε (0 = default)")
 		gamma    = flag.Int("gamma", 0, "phase-clock resolution Γ override for every clock-carrying protocol (0 = derived Γ(n))")
 		probe    = flag.Uint64("probe-interval", 0, "census-probe cadence for trajectory experiments, in interactions (0 = per-experiment default)")
-		sdir     = flag.String("series-dir", "", "directory where recording experiments (scalefigures, biassweep, clockspan) write CSV files (empty = no files)")
+		sdir     = flag.String("series-dir", "", "directory where recording experiments (scalefigures, biassweep, clockspan, parscale) write CSV files (empty = no files)")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "worker bound: concurrent trials, and sampling shards inside each counts engine (single-engine scale experiments)")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
 
@@ -88,6 +92,20 @@ func main() {
 	cfg.Batch = bp
 	cfg.ProbeInterval = *probe
 	cfg.SeriesDir = *sdir
+	cfg.Workers = *workers
+	cfg.EngineWorkers = *workers
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	if *gamma != 0 {
 		if err := phaseclock.Validate(*gamma); err != nil {
 			fmt.Fprintln(os.Stderr, "paperbench:", err)

@@ -18,6 +18,8 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"slices"
 	"text/tabwriter"
 
@@ -39,8 +41,23 @@ func main() {
 		gamma    = flag.Int("gamma", 0, "phase-clock resolution Γ override while sweeping phi/psi (0 = derived Γ(n); ignored by -what gamma)")
 		probe    = flag.Uint64("probe-interval", 0, "census-probe cadence for trajectory recording (0 = n/4)")
 		sdir     = flag.String("series-dir", "", "write a mean leader-count trajectory CSV per swept value into this directory")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "worker bound: concurrent trials, and sampling shards inside each counts engine")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	be, err := sim.ParseBackend(*backend)
 	if err != nil {
@@ -116,7 +133,8 @@ func main() {
 			})
 		}
 		rs, err := sim.RunTrialsProbed[core.State, *core.Protocol](func(int) *core.Protocol { return pr },
-			sim.TrialConfig{Trials: *trials, Seed: *seed + uint64(v), Backend: be, Batch: bp}, probes...)
+			sim.TrialConfig{Trials: *trials, Seed: *seed + uint64(v), Backend: be, Batch: bp,
+				Workers: *workers, EngineWorkers: *workers}, probes...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sweep:", err)
 			os.Exit(1)

@@ -100,6 +100,23 @@ func (sp *Space) Validate() error {
 	return nil
 }
 
+// WordBound returns an exclusive upper bound on the packed words the space
+// can produce: one plus the OR of every variant's base word and field masks.
+// Every enumerated word is a subset of those bits, so the bound sizes flat
+// word-indexed lookup tables (see DeltaMemo) without materializing the
+// enumeration. The result is a uint64 so a space using all 32 bits does not
+// overflow.
+func (sp *Space) WordBound() uint64 {
+	var or uint32
+	for _, v := range sp.variants {
+		or |= v.base
+		for _, d := range v.dims {
+			or |= d.F.Mask()
+		}
+	}
+	return uint64(or) + 1
+}
+
 // States generates the enumeration: every variant's base word crossed with
 // its dimensions, in declaration order with earlier dimensions cycling
 // slowest. The result is a fresh slice.

@@ -59,7 +59,7 @@ func BiasSweep(cfg Config) []*Table {
 	}
 
 	denseRes := mustRun(sim.RunTrials[uint32, *gs18.Protocol](factory, sim.TrialConfig{
-		Trials: cfg.Trials, Seed: cfg.Seed + 41, Workers: cfg.Workers, Backend: sim.BackendDense,
+		Trials: cfg.Trials, Seed: cfg.Seed + 41, Workers: cfg.Workers, EngineWorkers: cfg.EngineWorkers, Backend: sim.BackendDense,
 	}))
 	denseTimes := sim.ParallelTimes(denseRes)
 	denseMean, denseHW := stats.MeanCI(denseTimes, 1.96)
@@ -76,7 +76,7 @@ func BiasSweep(cfg Config) []*Table {
 		f2(denseMean), f2(denseHW), "", ""})
 	for _, p := range biasPolicies(n) {
 		rs := mustRun(sim.RunTrials[uint32, *gs18.Protocol](factory, sim.TrialConfig{
-			Trials: countsTrials, Seed: cfg.Seed + 43, Workers: cfg.Workers,
+			Trials: countsTrials, Seed: cfg.Seed + 43, Workers: cfg.Workers, EngineWorkers: cfg.EngineWorkers,
 			Backend: sim.BackendCounts, Batch: p.policy,
 		}))
 		times := sim.ParallelTimes(rs)

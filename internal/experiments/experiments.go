@@ -31,6 +31,13 @@ type Config struct {
 	// Workers bounds concurrent trials; 0 means GOMAXPROCS.
 	Workers int
 
+	// EngineWorkers caps each counts engine's internal sampling shards
+	// (sim.CountsEngine.Workers); 0 keeps the serial path. Trial-level
+	// parallelism already saturates cores when Trials ≥ Workers, so this
+	// matters mainly for the single-engine scale experiments (scale,
+	// scalefigures, parscale) where one large-n run owns the machine.
+	EngineWorkers int
+
 	// Backend selects the simulation engine for experiments that run
 	// whole-protocol trials (empty = dense, the historical default).
 	// BackendAuto lets large-population experiments like "scale" use the
@@ -179,6 +186,7 @@ func All() []struct {
 		{"scalefigures", ScaleFigures},
 		{"biassweep", BiasSweep},
 		{"clockspan", ClockSpan},
+		{"parscale", ParScale},
 	}
 }
 
@@ -216,6 +224,17 @@ func mustEngine(eng sim.Engine, err error) sim.Engine {
 func applyBatch(eng sim.Engine, cfg Config) sim.Engine {
 	if bc, ok := eng.(sim.BatchConfigurable); ok {
 		bc.SetBatchPolicy(cfg.Batch)
+	}
+	return eng
+}
+
+// applyWorkers applies cfg.EngineWorkers to engines with an internal
+// worker pool (the counts backend's sharded batch sampling) and returns
+// the engine; the companion of applyBatch for experiments that construct
+// engines directly.
+func applyWorkers(eng sim.Engine, cfg Config) sim.Engine {
+	if wc, ok := eng.(sim.WorkerConfigurable); ok {
+		wc.SetWorkers(cfg.EngineWorkers)
 	}
 	return eng
 }

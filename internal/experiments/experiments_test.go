@@ -7,6 +7,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"popelect/internal/sim"
 )
 
 // Smoke tests: every experiment must produce at least one table with rows
@@ -38,7 +40,7 @@ func runAndRender(t *testing.T, id string) string {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "fig1", "fig2", "fig3", "lemma41", "lemma53",
 		"lemma71", "lemma73", "thm32", "thm82", "epidemic", "ablation", "scale",
-		"scalefigures", "biassweep", "clockspan"}
+		"scalefigures", "biassweep", "clockspan", "parscale"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(all), len(want))
@@ -274,6 +276,37 @@ func TestClockSpanExperiment(t *testing.T) {
 	matches, err := filepath.Glob(filepath.Join(cfg.SeriesDir, "clockspan.csv"))
 	if err != nil || len(matches) != 1 {
 		t.Fatalf("clockspan CSV export: %v, %v", matches, err)
+	}
+}
+
+// TestParScaleExperiment smoke-runs the workers × n throughput grid under
+// the adaptive policy: one row per (size, worker count), parsable
+// throughput cells, and the CSV export lands when a series directory is
+// configured.
+func TestParScaleExperiment(t *testing.T) {
+	cfg := SmokeConfig()
+	cfg.Batch = sim.BatchPolicy{Mode: sim.BatchAdaptive}
+	cfg.SeriesDir = t.TempDir()
+	run, ok := Lookup("parscale")
+	if !ok {
+		t.Fatal("parscale not registered")
+	}
+	tables := run(cfg)
+	if len(tables) != 1 {
+		t.Fatalf("parscale produced %d tables", len(tables))
+	}
+	tab := tables[0]
+	if want := len(cfg.Sizes) * len(parScaleWorkers); len(tab.Rows) != want {
+		t.Fatalf("parscale has %d rows, want %d:\n%v", len(tab.Rows), want, tab.Rows)
+	}
+	for _, row := range tab.Rows {
+		if _, err := strconv.ParseFloat(row[4], 64); err != nil {
+			t.Fatalf("row %v: unparsable throughput cell", row)
+		}
+	}
+	matches, err := filepath.Glob(filepath.Join(cfg.SeriesDir, "parscale.csv"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("parscale CSV export: %v, %v", matches, err)
 	}
 }
 

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"popelect/internal/protocols/gs18"
+	"popelect/internal/sim"
+	"popelect/internal/stats"
+)
+
+// parScaleWorkers is the shard-count grid the parscale experiment sweeps.
+var parScaleWorkers = []int{1, 2, 4, 8}
+
+// ParScale measures the counts backend's sharded-batch throughput as a
+// workers × n grid: for each population size, GS18 advances a fixed
+// interaction slab under the batch policy in effect (pass -batch adaptive
+// for the faithful regime) at every worker count, and the table reports
+// Minteractions/s plus the speedup over the serial path. With
+// cfg.SeriesDir set, the grid is also written as parscale.csv — the
+// recorded bench-results/parscale.csv comes from this experiment.
+//
+// Sharding only engages above the parallel gate (batch length ≥ 2¹²,
+// ≥ 16 occupied states; see sim.CountsEngine.Workers), so sizes below
+// ~10⁶ mostly exercise the serial path regardless of the worker column.
+// On a single-core host every worker count serializes onto one CPU and
+// the speedup column reads ≤ 1× — the shard fan-out then only measures
+// its own overhead; the ≥ 3× regime needs as many physical cores as
+// shards.
+func ParScale(cfg Config) []*Table {
+	t := &Table{
+		ID:    "parscale",
+		Title: "sharded-batch throughput vs worker count (counts backend, GS18)",
+		Columns: []string{"n", "workers", "slab interactions", "seconds",
+			"Minter/s", "speedup vs w=1"},
+	}
+	var rows [][]string
+	for _, n := range cfg.Sizes {
+		// A slab long enough to amortize the warmup ramp but short enough
+		// that the full grid stays interactive: 16 parallel-time units,
+		// floored so small (smoke) sizes still measure something.
+		slab := uint64(n) * 16
+		if slab < 1<<22 {
+			slab = 1 << 22
+		}
+		base := 0.0
+		for _, w := range parScaleWorkers {
+			eng, err := sim.NewEngine[uint32, *gs18.Protocol](
+				gs18.MustNew(gs18Params(cfg, n)), trialSource(cfg, w), sim.BackendCounts)
+			if err != nil {
+				t.AddRow(d(n), d(w), "engine error: "+err.Error(), "—", "—", "—")
+				continue
+			}
+			applyBatch(eng, cfg)
+			if wc, ok := eng.(sim.WorkerConfigurable); ok {
+				wc.SetWorkers(w)
+			}
+			eng.RunSteps(slab / 8) // past the initial ramp
+			start := time.Now()
+			eng.RunSteps(slab)
+			secs := time.Since(start).Seconds()
+			mps := float64(slab) / secs / 1e6
+			if w == 1 {
+				base = mps
+			}
+			speedup := "—"
+			if base > 0 {
+				speedup = fmt.Sprintf("%.2f×", mps/base)
+			}
+			t.AddRow(d(n), d(w), fmt.Sprintf("%d", slab), f2(secs), f1(mps), speedup)
+			rows = append(rows, []string{d(n), d(w), fmt.Sprintf("%d", slab),
+				f3(secs), f1(mps)})
+		}
+	}
+	t.AddNote("batch policy %s; throughput over a fixed post-ramp slab, no stabilization check", cfg.Batch)
+	t.AddNote("single-core hosts serialize all shards: expect ≤1× here, ≥3× needs one core per shard")
+	if cfg.SeriesDir != "" {
+		path := filepath.Join(cfg.SeriesDir, "parscale.csv")
+		if err := stats.WriteTableCSVFile(path,
+			[]string{"n", "workers", "slab_interactions", "seconds", "minter_per_s"}, rows); err != nil {
+			t.AddNote("csv write failed: %v", err)
+		} else {
+			t.AddNote("grid written to %s", path)
+		}
+	}
+	return []*Table{t}
+}

@@ -67,7 +67,7 @@ func runScaleRow(t *Table, name string, n, trials int, cfg Config, inst protocol
 			t.AddRow(d(n), name, "engine error: "+err.Error(), "—", "—", "—", "—")
 			return
 		}
-		res := applyBatch(eng, cfg).Run()
+		res := applyWorkers(applyBatch(eng, cfg), cfg).Run()
 		if res.Converged {
 			conv++
 		}

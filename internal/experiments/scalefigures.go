@@ -51,7 +51,7 @@ func scaleFigRow[S comparable, P sim.Protocol[S]](t *Table, cfg Config, alg stri
 		t.AddRow(d(n), alg, "config error: "+err.Error(), "—", "—", "—", "—", "—")
 		return
 	}
-	applyBatch(eng, cfg)
+	applyWorkers(applyBatch(eng, cfg), cfg)
 	col := stats.NewCollector(0, "leaders", "occupied_states")
 	peakOccupied := 0
 	record := func(step uint64, v sim.CensusView[S]) {

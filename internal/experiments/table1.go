@@ -89,7 +89,7 @@ func runTable1Cell(cfg Config, e protocols.Entry, n int) ([]sim.Result, error) {
 		return nil, err
 	}
 	tc := sim.TrialConfig{
-		Trials: cfg.Trials, Seed: cfg.Seed + uint64(n), Workers: cfg.Workers,
+		Trials: cfg.Trials, Seed: cfg.Seed + uint64(n), Workers: cfg.Workers, EngineWorkers: cfg.EngineWorkers,
 		Backend:     cfg.Backend,
 		Batch:       cfg.Batch,
 		TrackStates: true,

@@ -384,7 +384,12 @@ func (s *Source) hypergeometricHRUA(good, bad, sample int64) int64 {
 // math.Lgamma.
 func lgam(v int64) float64 { return logFactorial(v - 1) }
 
-// lfTable[k] holds ln k! for small k.
+// lfTable[k] holds ln k! for small k. It is fully built at package
+// initialization and never written afterwards, so concurrent readers —
+// the sharded counts batch sampler calls Hypergeometric from every shard
+// goroutine at once — share it without synchronization. Keep it that way:
+// a lazily-grown table here would be a data race under Split-stream
+// sharding.
 var lfTable = func() [8192]float64 {
 	var t [8192]float64
 	acc := 0.0

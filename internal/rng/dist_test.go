@@ -520,3 +520,29 @@ func TestNormalMoments(t *testing.T) {
 		t.Fatalf("%d samples beyond 4 sigma", far)
 	}
 }
+
+// TestHypergeometricConcurrentShards exercises the shared read-only
+// log-factorial table from many goroutines at once — the access pattern of
+// the sharded counts batch sampler, where every shard draws
+// hypergeometric variates concurrently. The CI race job runs this under
+// -race; a lazily-initialized table would fail it.
+func TestHypergeometricConcurrentShards(t *testing.T) {
+	parent := New(99)
+	done := make(chan int64)
+	for s := 0; s < 8; s++ {
+		go func(src *Source) {
+			var sum int64
+			for i := 0; i < 2000; i++ {
+				// Mix small (table) and large (Stirling) arguments.
+				sum += src.Hypergeometric(4000, 4000, 2000)
+				sum += src.Hypergeometric(1<<20, 1<<21, 1<<19)
+			}
+			done <- sum
+		}(parent.Split(uint64(s)))
+	}
+	for s := 0; s < 8; s++ {
+		if sum := <-done; sum <= 0 {
+			t.Fatalf("shard returned nonpositive draw sum %d", sum)
+		}
+	}
+}

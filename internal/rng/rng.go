@@ -78,6 +78,28 @@ func (s *Source) Uint64() uint64 {
 	return r
 }
 
+// Split derives the shard-th child generator from the parent's current
+// state without advancing the parent. The child's state words come from a
+// SplitMix64 sequence keyed by a mix of all four parent state words and the
+// shard index, so distinct shards (and distinct parent states) yield
+// well-separated, statistically independent streams.
+//
+// The mapping is a pure function of (parent state, shard): calling Split
+// repeatedly with the same shard returns identical children, and the fixed
+// shard→stream mapping is what keeps sharded simulations byte-identical for
+// a given worker count (see the counts engine's determinism contract).
+func (s *Source) Split(shard uint64) *Source {
+	x := s.s0
+	x ^= splitMix64(&shard) // mix the shard index first so shard 0 ≠ parent
+	k := s.s1
+	x ^= splitMix64(&k)
+	k = s.s2
+	x += splitMix64(&k)
+	k = s.s3
+	x ^= splitMix64(&k)
+	return New(x)
+}
+
 // Jump advances the generator by 2^128 steps, equivalent to that many calls
 // to Uint64. It can be used to partition one seed into long non-overlapping
 // subsequences.

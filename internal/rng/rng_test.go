@@ -56,6 +56,74 @@ func TestStreamDeterminism(t *testing.T) {
 	}
 }
 
+func TestSplitDeterministicAndPure(t *testing.T) {
+	// Split is a pure function of (parent state, shard): repeated calls with
+	// the same shard return identical children, and the parent's own
+	// sequence is unperturbed.
+	parent := New(42)
+	ref := New(42)
+	c1 := parent.Split(3)
+	c2 := parent.Split(3)
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() != c2.Uint64() {
+			t.Fatal("Split with the same shard must reproduce the same child sequence")
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() != ref.Uint64() {
+			t.Fatalf("step %d: Split advanced the parent generator", i)
+		}
+	}
+}
+
+func TestSplitShardsDiffer(t *testing.T) {
+	parent := New(7)
+	a := parent.Split(0)
+	b := parent.Split(1)
+	c := parent.Split(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		x, y, z := a.Uint64(), b.Uint64(), c.Uint64()
+		if x == y || y == z || x == z {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("split shards overlapped on %d of 100 outputs", same)
+	}
+}
+
+func TestSplitDiffersFromParent(t *testing.T) {
+	// Shard 0 must not alias the parent stream, and children split from
+	// different parent states must differ.
+	parent := New(9)
+	child := parent.Split(0)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("shard-0 child overlapped the parent on %d of 100 outputs", same)
+	}
+	// parent has advanced 100 draws: splitting the same shard now must give
+	// a different child than before (state-dependence).
+	child2 := parent.Split(0)
+	child.Seed(0) // reuse var; reseed child from scratch for comparison below
+	first := New(9).Split(0)
+	diff := false
+	for i := 0; i < 100; i++ {
+		if first.Uint64() != child2.Uint64() {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("Split must depend on the parent's current state, not only its seed")
+	}
+}
+
 func TestSeedReset(t *testing.T) {
 	s := New(3)
 	first := make([]uint64, 10)

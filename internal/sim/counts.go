@@ -42,7 +42,10 @@ import (
 // Γ(n) phase clocks this last tier is a speed preference, not a
 // correctness crutch).
 //
-// A CountsEngine is single-goroutine, like Runner.
+// A CountsEngine is single-goroutine from the caller's perspective: its
+// methods must not be called concurrently. With Workers > 1 runBatch fans
+// the sampling work of large batches out over short-lived shard goroutines
+// internally (see counts_parallel.go), joining them before returning.
 type CountsEngine[S comparable] struct {
 	proto Enumerable[S]
 	src   *rng.Source
@@ -50,6 +53,17 @@ type CountsEngine[S comparable] struct {
 
 	// MaxInteractions bounds Run; 0 means DefaultBudget(n).
 	MaxInteractions uint64
+
+	// Workers caps the number of sampling shards a batch may fan out to.
+	// 0 or 1 keeps the historical serial path. The determinism contract:
+	// for a fixed Workers value, runs are byte-identical regardless of
+	// the physical core count (shard s always draws from the same
+	// src.Split(s) stream and results merge in fixed shard order);
+	// different Workers values consume randomness in different orders and
+	// yield different — statistically equivalent — trajectories, exactly
+	// like changing the seed. See SetWorkers and the cross-worker
+	// equivalence tests.
+	Workers int
 
 	// Policy selects the batch scheduling strategy. The zero value is
 	// BatchAuto: exact per-interaction simulation below ExactMaxN agents,
@@ -74,6 +88,16 @@ type CountsEngine[S comparable] struct {
 	pop  []int64 // id → live agent count
 	fen  fenwick // prefix-sum tree over pop, for exact-mode sampling
 	diff []int64 // id → pending census change within a batch
+
+	// active is the sparse occupied-state list: the ids with pop > 0, in
+	// insertion order perturbed by swap-removals, with activePos the
+	// inverse map (id → position in active, −1 if absent). bump maintains
+	// it in O(1), so batch setup iterates occupied states directly instead
+	// of scanning the dense pop table — the scan is O(discovered states),
+	// which for wide-census protocols (the lottery's rank payloads) is
+	// orders of magnitude above the occupied count.
+	active    []int32
+	activePos []int32
 
 	classCounts []int64
 	leaders     int64
@@ -109,9 +133,21 @@ type CountsEngine[S comparable] struct {
 	resp     []int64
 	pool     []int64
 	poolInit []int64
-	weights  []float64
 	touched  []int32
 	snapPop  []int64 // census snapshot for exact-chunk drift measurement
+
+	// Cached alias sampler for the small-row pairing path, reused across
+	// batches while it stays valid (see ensureAlias): aliasOcc is the occ
+	// layout it was built for, aliasW its weights (inflated by
+	// aliasHeadroom over the build batch's pool so modest census growth
+	// does not force a rebuild), aliasWSum their total.
+	aliasTab  *rng.Alias
+	aliasOcc  []int32
+	aliasW    []float64
+	aliasWSum float64
+
+	// shards is the worker-pool scratch of the parallel batch path.
+	shards []countsShard
 }
 
 // ExactMaxN is the population size below which the counts backend defaults
@@ -150,6 +186,10 @@ func (e *CountsEngine[S]) Reset() {
 	e.leaderOf = e.leaderOf[:0]
 	e.pop = e.pop[:0]
 	e.diff = e.diff[:0]
+	e.active = e.active[:0]
+	e.activePos = e.activePos[:0]
+	e.aliasTab = nil
+	e.aliasOcc = e.aliasOcc[:0]
 	e.deltaCache = nil
 	e.deltaStride = 0
 	e.deltaCap = e.stateBound
@@ -171,6 +211,18 @@ func (e *CountsEngine[S]) Reset() {
 		}
 	}
 	e.rebuildFenwick()
+	// Rebuild the active list in id order (the init loop bumped pop
+	// directly, bypassing the incremental maintenance).
+	e.active = e.active[:0]
+	for id := range e.activePos {
+		e.activePos[id] = -1
+	}
+	for id, c := range e.pop {
+		if c > 0 {
+			e.activePos[id] = int32(len(e.active))
+			e.active = append(e.active, int32(id))
+		}
+	}
 }
 
 // indexOf returns the dense id for state s, assigning the next free id on
@@ -186,6 +238,7 @@ func (e *CountsEngine[S]) indexOf(s S) int32 {
 	e.leaderOf = append(e.leaderOf, e.proto.Leader(s))
 	e.pop = append(e.pop, 0)
 	e.diff = append(e.diff, 0)
+	e.activePos = append(e.activePos, -1)
 	if len(e.states) > e.fen.cap {
 		e.rebuildFenwick()
 	}
@@ -267,6 +320,23 @@ func (e *CountsEngine[S]) deltaIDs(a, b int32) (int32, int32) {
 	return a2, b2
 }
 
+// deltaLookup resolves a memoized transition without mutating the memo —
+// the read-only form the batch shards use concurrently. It reports false
+// for pairs not yet memoized; only the main goroutine may resolve those
+// (deltaIDs discovers and indexes successor states).
+func (e *CountsEngine[S]) deltaLookup(a, b int32) (int32, int32, bool) {
+	if int(a) < e.deltaStride && int(b) < e.deltaStride {
+		if v := e.deltaTab[int(a)*e.deltaStride+int(b)]; v != ^uint64(0) {
+			return int32(v >> 32), int32(v & 0xffffffff), true
+		}
+		return 0, 0, false
+	}
+	if v, ok := e.deltaCache[uint64(uint32(a))<<32|uint64(uint32(b))]; ok {
+		return int32(v >> 32), int32(v & 0xffffffff), true
+	}
+	return 0, 0, false
+}
+
 func (e *CountsEngine[S]) deltaIDsSlow(a, b int32) (int32, int32) {
 	na, nb := e.proto.Delta(e.states[a], e.states[b])
 	return e.indexOf(na), e.indexOf(nb)
@@ -289,12 +359,11 @@ func (e *CountsEngine[S]) Leaders() int { return int(e.leaders) }
 // the last Reset. The counts backend tracks this inherently.
 func (e *CountsEngine[S]) DistinctStates() int { return len(e.states) }
 
-// VisitStates calls f for every state with a nonzero live count.
+// VisitStates calls f for every state with a nonzero live count, in no
+// particular order (the active list's).
 func (e *CountsEngine[S]) VisitStates(f func(s S, count int64)) {
-	for id, c := range e.pop {
-		if c > 0 {
-			f(e.states[id], c)
-		}
+	for _, id := range e.active {
+		f(e.states[id], e.pop[id])
 	}
 }
 
@@ -322,25 +391,31 @@ type countsView[S comparable] struct {
 	step uint64
 }
 
-func (v countsView[S]) Step() uint64     { return v.step }
-func (v countsView[S]) N() int           { return v.e.n }
-func (v countsView[S]) Classes() []int64 { return v.e.classCounts }
-func (v countsView[S]) Leaders() int     { return int(v.e.leaders) }
-func (v countsView[S]) Occupied() int {
-	occ := 0
-	for _, c := range v.e.pop {
-		if c > 0 {
-			occ++
-		}
-	}
-	return occ
-}
+func (v countsView[S]) Step() uint64                         { return v.step }
+func (v countsView[S]) N() int                               { return v.e.n }
+func (v countsView[S]) Classes() []int64                     { return v.e.classCounts }
+func (v countsView[S]) Leaders() int                         { return int(v.e.leaders) }
+func (v countsView[S]) Occupied() int                        { return len(v.e.active) }
 func (v countsView[S]) VisitStates(f func(s S, count int64)) { v.e.VisitStates(f) }
 
 func (e *CountsEngine[S]) bump(id int32, d int64) {
 	c := e.pop[id] + d
 	if c < 0 {
 		panic(fmt.Sprintf("sim: counts backend drove state %d census negative", id))
+	}
+	if c == 0 {
+		if e.pop[id] != 0 {
+			// Swap-remove id from the active list.
+			pos := e.activePos[id]
+			last := e.active[len(e.active)-1]
+			e.active[pos] = last
+			e.activePos[last] = pos
+			e.active = e.active[:len(e.active)-1]
+			e.activePos[id] = -1
+		}
+	} else if e.pop[id] == 0 {
+		e.activePos[id] = int32(len(e.active))
+		e.active = append(e.active, id)
 	}
 	e.pop[id] = c
 	e.fen.add(id, d)
@@ -534,6 +609,11 @@ func (e *CountsEngine[S]) AdaptiveBatchLen() uint64 { return e.adaptLen }
 // without knowing the state type.
 func (e *CountsEngine[S]) SetBatchPolicy(p BatchPolicy) { e.Policy = p }
 
+// SetWorkers implements WorkerConfigurable: it sets Workers, the batch
+// sampling shard count (0 or 1 = serial; see the Workers field for the
+// determinism contract).
+func (e *CountsEngine[S]) SetWorkers(w int) { e.Workers = w }
+
 // updateAdaptive recomputes the controller's next batch length from the
 // realized per-state census drift (deltas, indexed like pops) of the last
 // scheduling unit of l interactions, where pops holds the unit's *starting*
@@ -652,6 +732,12 @@ const hyperNormalMinVar = 25
 // hyper draws from Hypergeometric(good, bad, sample): exactly for
 // small-variance draws, via a moment-matched normal for large ones.
 func (e *CountsEngine[S]) hyper(good, bad, sample int64) int64 {
+	return hyperDraw(e.src, good, bad, sample)
+}
+
+// hyperDraw is hyper on an explicit source — the batch shards draw from
+// their own per-shard streams (see counts_parallel.go).
+func hyperDraw(src *rng.Source, good, bad, sample int64) int64 {
 	if good == 0 || sample == 0 {
 		return 0
 	}
@@ -662,9 +748,9 @@ func (e *CountsEngine[S]) hyper(good, bad, sample int64) int64 {
 	mean := float64(sample) * float64(good) / nf
 	v := mean * (float64(bad) / nf) * float64(good+bad-sample) / (nf - 1)
 	if v < hyperNormalMinVar {
-		return clampHyper(e.src.Hypergeometric(good, bad, sample), good, bad, sample)
+		return clampHyper(src.Hypergeometric(good, bad, sample), good, bad, sample)
 	}
-	k := int64(math.Round(mean + math.Sqrt(v)*e.src.Normal()))
+	k := int64(math.Round(mean + math.Sqrt(v)*src.Normal()))
 	return clampHyper(k, good, bad, sample)
 }
 
@@ -686,21 +772,60 @@ func clampHyper(k, good, bad, sample int64) int64 {
 	return k
 }
 
-// runBatch advances l interactions (2·l ≤ n) in one aggregated draw.
+// runBatch advances l interactions (2·l ≤ n) in one aggregated draw,
+// fanning the sampling over shard goroutines when Workers permits (see
+// counts_parallel.go).
 func (e *CountsEngine[S]) runBatch(l uint64) {
-	// Occupied state positions. occ, and every per-position slice below,
-	// is indexed by position in occ, not by state id.
-	occ := e.occ[:0]
-	for id, c := range e.pop {
-		if c > 0 {
-			occ = append(occ, int32(id))
+	// Occupied state positions, taken from the sparse active list. occ,
+	// and every per-position slice below, is indexed by position in occ,
+	// not by state id.
+	occ := append(e.occ[:0], e.active...)
+	// Largest classes first (ties by id, so the order is independent of
+	// the active list's internal order): the pairing chains below scan
+	// columns in this order, so a row's draw budget is exhausted after the
+	// few big columns and the long tail of near-empty classes is rarely
+	// visited at all.
+	sort.Slice(occ, func(i, j int) bool {
+		pi, pj := e.pop[occ[i]], e.pop[occ[j]]
+		if pi != pj {
+			return pi > pj
 		}
-	}
-	// Largest classes first: the pairing chains below scan columns in this
-	// order, so a row's draw budget is exhausted after the few big columns
-	// and the long tail of near-empty classes is rarely visited at all.
-	sort.Slice(occ, func(i, j int) bool { return e.pop[occ[i]] > e.pop[occ[j]] })
+		return occ[i] < occ[j]
+	})
 	e.occ = occ
+
+	if w := e.batchShards(l, len(occ)); w > 1 {
+		e.sampleBatchSharded(l, w)
+	} else {
+		e.sampleBatchSerial(l)
+	}
+
+	// Feed the realized per-state drift to the adaptive controller while
+	// e.pop still holds the batch-start census.
+	if p := e.resolvedPolicy(); p.Mode == BatchAdaptive {
+		e.updateAdaptive(l, p.Eps, e.touched,
+			func(id int32) int64 { return e.diff[id] },
+			func(id int32) int64 { return e.pop[id] })
+	}
+
+	// Commit the staged census changes.
+	for _, id := range e.touched {
+		d := e.diff[id]
+		if d == 0 {
+			continue
+		}
+		e.diff[id] = 0
+		e.bump(id, d)
+	}
+	e.touched = e.touched[:0]
+	e.step += l
+}
+
+// sampleBatchSerial draws one batch of l interactions on the caller's
+// goroutine and stages its census deltas (the historical single-stream
+// path; Workers ≤ 1 and small batches come through here).
+func (e *CountsEngine[S]) sampleBatchSerial(l uint64) {
+	occ := e.occ
 
 	// Responder split: a multivariate hypergeometric draw of l agents
 	// from the census, class by class.
@@ -718,27 +843,27 @@ func (e *CountsEngine[S]) runBatch(l uint64) {
 		rem -= c
 	}
 
-	// Initiator pool: the remaining agents. poolInit keeps the initial
-	// pool for the alias sampler's acceptance ratio.
+	// Initiator pool: the remaining agents. poolInit keeps the batch-start
+	// pool for the alias cache's validity check.
 	pool := ensureLen(&e.pool, len(occ))
 	poolInit := ensureLen(&e.poolInit, len(occ))
-	weights := ensureLen(&e.weights, len(occ))
 	poolTotal := int64(e.n) - int64(l)
 	for j, id := range occ {
 		pool[j] = e.pop[id] - resp[j]
 		poolInit[j] = pool[j]
-		weights[j] = float64(pool[j])
 	}
-	alias := rng.MustAlias(weights)
 
-	// The alias sampler proposes from the batch-start pool and corrects by
-	// rejection, which degenerates once most of the pool is consumed; for
-	// long batches every row goes through the hypergeometric chains, which
-	// handle pool exhaustion exactly.
+	// The alias sampler proposes from cached batch-start weights and
+	// corrects by rejection, which degenerates once most of the pool is
+	// consumed; for long batches every row goes through the hypergeometric
+	// chains, which handle pool exhaustion exactly. The table itself is
+	// built lazily (batches whose rows are all large never need it) and
+	// cached across batches (see ensureAlias).
 	smallRow := int64(smallRowMax)
 	if int64(l) > int64(e.n)/3 {
 		smallRow = 0
 	}
+	aliasReady := false
 
 	// Pair each responder class with its initiators. The pairing is
 	// exchangeable, so processing classes in a fixed order is unbiased.
@@ -748,14 +873,19 @@ func (e *CountsEngine[S]) runBatch(l uint64) {
 			continue
 		}
 		if k <= smallRow {
-			// Draw k initiators one by one: propose from the initial
-			// pool via the alias table, accept with probability
-			// pool/poolInit — exact sampling without replacement.
+			if !aliasReady {
+				e.ensureAlias()
+				aliasReady = true
+			}
+			// Draw k initiators one by one: propose from the cached
+			// weights via the alias table, accept with probability
+			// pool/weight — exact sampling without replacement, valid
+			// because every cached weight bounds its current pool.
 			for t := int64(0); t < k; t++ {
 				var b int
 				for {
-					b = alias.Sample(e.src)
-					if pool[b] > 0 && float64(poolInit[b])*e.src.Float64() < float64(pool[b]) {
+					b = e.aliasTab.Sample(e.src)
+					if pool[b] > 0 && e.aliasW[b]*e.src.Float64() < float64(pool[b]) {
 						break
 					}
 				}
@@ -789,26 +919,53 @@ func (e *CountsEngine[S]) runBatch(l uint64) {
 		}
 		poolTotal -= k
 	}
+}
 
-	// Feed the realized per-state drift to the adaptive controller while
-	// e.pop still holds the batch-start census.
-	if p := e.resolvedPolicy(); p.Mode == BatchAdaptive {
-		e.updateAdaptive(l, p.Eps, e.touched,
-			func(id int32) int64 { return e.diff[id] },
-			func(id int32) int64 { return e.pop[id] })
+// aliasHeadroom inflates the cached alias weights over the pool they are
+// built from. The rejection acceptance pool[b]/aliasW[b] is exact for any
+// aliasW[b] ≥ pool[b], so the inflated cache stays valid across batches
+// until some class outgrows its cached weight — modest census drift costs
+// ~11% extra rejections instead of a rebuild per batch.
+const aliasHeadroom = 1.125
+
+// aliasMinAccept bounds the cache's proposal efficiency: the table is
+// rebuilt tight once the current pool total falls below this fraction of
+// the cached weight total (rejection would dominate beyond).
+const aliasMinAccept = 0.5
+
+// ensureAlias makes the cached alias sampler valid for the current batch
+// (occ and poolInit must be set): the cache is reused when it was built
+// over the same occupied layout and every class's batch-start pool still
+// fits under its cached weight, and rebuilt from the current pool
+// otherwise.
+func (e *CountsEngine[S]) ensureAlias() {
+	occ, poolInit := e.occ, e.poolInit
+	poolTotal := int64(0)
+	for _, p := range poolInit {
+		poolTotal += p
 	}
-
-	// Commit the staged census changes.
-	for _, id := range e.touched {
-		d := e.diff[id]
-		if d == 0 {
-			continue
+	if e.aliasTab != nil && len(e.aliasOcc) == len(occ) && float64(poolTotal) >= aliasMinAccept*e.aliasWSum {
+		ok := true
+		for j, id := range occ {
+			if id != e.aliasOcc[j] || float64(poolInit[j]) > e.aliasW[j] {
+				ok = false
+				break
+			}
 		}
-		e.diff[id] = 0
-		e.bump(id, d)
+		if ok {
+			return
+		}
 	}
-	e.touched = e.touched[:0]
-	e.step += l
+	w := ensureLen(&e.aliasW, len(occ))
+	sum := 0.0
+	for j, p := range poolInit {
+		w[j] = float64(p) * aliasHeadroom
+		sum += w[j]
+	}
+	e.aliasW = w
+	e.aliasWSum = sum
+	e.aliasTab = rng.MustAlias(w)
+	e.aliasOcc = append(e.aliasOcc[:0], occ...)
 }
 
 // stage records the census effect of k interactions of one pair class

@@ -72,6 +72,28 @@ type Enumerable[S comparable] interface {
 	States() []S
 }
 
+// WorkerConfigurable is implemented by engines whose internal work can fan
+// out over a bounded worker pool (the counts backend's sharded batch
+// sampling). SetWorkers caps the shard count; 0 or 1 selects the serial
+// path. For a fixed worker count runs are byte-identical regardless of
+// physical cores; different worker counts yield statistically equivalent
+// but different trajectories (see CountsEngine.Workers). The dense backend
+// is inherently sequential and does not implement this.
+type WorkerConfigurable interface {
+	SetWorkers(int)
+}
+
+// DeltaCompiler is implemented by protocols that can compile their
+// transition function into a memoized fast path (compose.Protocol compiles
+// its interpreted module pipeline into a flat pair-table memo). CompileDelta
+// returns a function equivalent to Delta but private to the caller — the
+// returned closure may carry single-goroutine cache state, so every engine
+// must obtain its own — or nil when compilation does not apply, in which
+// case callers use Delta directly. NewRunner consults this automatically.
+type DeltaCompiler[S comparable] interface {
+	CompileDelta() func(r, i S) (S, S)
+}
+
 // Backend selects a simulation engine implementation.
 type Backend string
 

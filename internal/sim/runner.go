@@ -36,6 +36,10 @@ type PairSource interface {
 // (see Trials).
 type Runner[S comparable, P Protocol[S]] struct {
 	proto P
+	// delta is the transition function Step applies: the protocol's
+	// compiled fast path when it implements DeltaCompiler (one private
+	// memo per runner — see CompileDelta), proto.Delta otherwise.
+	delta func(r, i S) (S, S)
 	rng   PairSource
 	pop   []S
 	n     int
@@ -79,9 +83,15 @@ func NewRunner[S comparable, P Protocol[S]](proto P, src PairSource) *Runner[S, 
 	}
 	r := &Runner[S, P]{
 		proto:      proto,
+		delta:      proto.Delta,
 		rng:        src,
 		n:          n,
 		CheckEvery: 1,
+	}
+	if dc, ok := any(proto).(DeltaCompiler[S]); ok {
+		if f := dc.CompileDelta(); f != nil {
+			r.delta = f
+		}
 	}
 	r.Reset()
 	return r
@@ -256,7 +266,7 @@ func satMul(a, b uint64) uint64 {
 func (r *Runner[S, P]) Step() bool {
 	ri, ii := r.rng.Pair(r.n)
 	oldR, oldI := r.pop[ri], r.pop[ii]
-	newR, newI := r.proto.Delta(oldR, oldI)
+	newR, newI := r.delta(oldR, oldI)
 	r.step++
 	changed := false
 	if newR != oldR {

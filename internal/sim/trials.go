@@ -19,6 +19,14 @@ type TrialConfig struct {
 	// Workers caps the number of concurrent runners; 0 means GOMAXPROCS.
 	Workers int
 
+	// EngineWorkers caps each trial engine's internal sampling shards
+	// (counts backend only; see CountsEngine.Workers and the determinism
+	// contract there). It is independent of Workers, which bounds how many
+	// trials run concurrently: trial-level parallelism already saturates
+	// cores when Trials ≥ Workers, so EngineWorkers matters mainly for
+	// single-trial scale runs. 0 keeps the serial engine path.
+	EngineWorkers int
+
 	// MaxInteractions bounds each run; 0 means DefaultBudget(n).
 	MaxInteractions uint64
 
@@ -147,6 +155,7 @@ func newTrialEngine[S comparable, P Protocol[S]](proto P, src *rng.Source, cfg T
 	case *CountsEngine[S]:
 		e.Policy = cfg.Batch
 		e.BatchLen = cfg.BatchLen
+		e.Workers = cfg.EngineWorkers
 	}
 	return eng
 }

@@ -111,6 +111,7 @@ type options struct {
 	backend       string
 	batch         string
 	batchEps      float64
+	workers       int
 	timelineEvery uint64
 }
 
@@ -162,6 +163,16 @@ func WithBatchPolicy(policy string) Option { return func(o *options) { o.batch =
 // sequential scheduler more closely at proportionally lower throughput.
 // Only meaningful with the counts backend under an adaptive batch policy.
 func WithBatchEps(eps float64) Option { return func(o *options) { o.batchEps = eps } }
+
+// WithWorkers caps the simulation engine's internal worker pool — on the
+// counts backend, the number of sampling shards each batch fans out to
+// (the dense backend is inherently sequential and ignores it). The
+// determinism contract: for a fixed worker count, runs with the same seed
+// are byte-identical on any machine; different worker counts consume
+// randomness in different orders and give statistically equivalent but
+// different trajectories, exactly like changing the seed. 0 (the default)
+// keeps the serial path.
+func WithWorkers(workers int) Option { return func(o *options) { o.workers = workers } }
 
 // WithCensusTimeline records a census sample (leader count, occupied
 // states) every interval interactions into Result.Timeline, plus the
@@ -239,6 +250,11 @@ func run(inst protocols.Instance, o options) (Result, error) {
 		policy.Eps = o.batchEps
 		if ce, ok := eng.(sim.BatchConfigurable); ok {
 			ce.SetBatchPolicy(policy)
+		}
+	}
+	if o.workers > 1 {
+		if wc, ok := eng.(sim.WorkerConfigurable); ok {
+			wc.SetWorkers(o.workers)
 		}
 	}
 	eng.SetBudget(o.budget)
