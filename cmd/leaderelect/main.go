@@ -38,21 +38,23 @@ import (
 
 func main() {
 	var (
-		n        = flag.Int("n", 10000, "population size")
-		alg      = flag.String("alg", "gsu19", "protocol name from the registry, or 'list' to print it")
-		seed     = flag.Uint64("seed", 1, "PRNG seed")
-		gamma    = flag.Int("gamma", 0, "phase clock resolution Γ (0 = derived Γ(n): next even ≥ 2·log₂ n, floor 36)")
-		phi      = flag.Int("phi", 0, "coin level cap Φ (0 = default)")
-		psi      = flag.Int("psi", 0, "drag range Ψ (0 = default)")
-		trials   = flag.Int("trials", 1, "number of independent runs")
-		backend  = flag.String("backend", "dense", "simulation backend: dense, counts or auto (counts scales to n=10⁸–10⁹ but reports no leader agent id)")
-		batch    = flag.String("batch", "auto", "counts-backend batch policy: auto, adaptive, exact, or a fixed batch length")
-		batchEps = flag.Float64("batch-eps", 0, "adaptive batch controller drift bound ε (0 = default)")
-		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "counts-backend sampling shards per batch (fixed value ⇒ byte-identical runs per seed on any machine; 1 = serial)")
-		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		verbose  = flag.Bool("v", false, "print a census timeline (gsu19 only; forces the dense backend)")
-		probe    = flag.Uint64("probe-interval", 0, "record a census sample (leaders, occupied states) every N interactions; works on every backend")
-		series   = flag.String("series", "", "write the recorded census timeline as CSV to this path (requires -probe-interval)")
+		n         = flag.Int("n", 10000, "population size")
+		alg       = flag.String("alg", "gsu19", "protocol name from the registry, or 'list' to print it")
+		seed      = flag.Uint64("seed", 1, "PRNG seed")
+		gamma     = flag.Int("gamma", 0, "phase clock resolution Γ (0 = derived Γ(n): next even ≥ 2·log₂ n, floor 36)")
+		phi       = flag.Int("phi", 0, "coin level cap Φ (0 = default)")
+		psi       = flag.Int("psi", 0, "drag range Ψ (0 = default)")
+		trials    = flag.Int("trials", 1, "number of independent runs")
+		backend   = flag.String("backend", "dense", "simulation backend: dense, counts or auto (counts scales to n=10⁸–10⁹ but reports no leader agent id)")
+		batch     = flag.String("batch", "auto", "counts-backend batch policy: auto, adaptive, exact, or a fixed batch length")
+		batchEps  = flag.Float64("batch-eps", 0, "adaptive batch controller drift bound ε (0 = default)")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "counts-backend sampling shards per batch (fixed value ⇒ byte-identical runs per seed on any machine; 1 = serial)")
+		shards    = flag.Int("shards", 0, "partition the population into K sub-censuses advanced concurrently with epoch-boundary migration (≤1 = single census; requires an enumerable protocol)")
+		migration = flag.Float64("migration", -1, "sharded per-agent per-epoch migration probability λ (-1 = fidelity default, 0 = isolated shards; requires -shards ≥ 2)")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		verbose   = flag.Bool("v", false, "print a census timeline (gsu19 only; forces the dense backend)")
+		probe     = flag.Uint64("probe-interval", 0, "record a census sample (leaders, occupied states) every N interactions; works on every backend")
+		series    = flag.String("series", "", "write the recorded census timeline as CSV to this path (requires -probe-interval)")
 	)
 	flag.Parse()
 
@@ -75,6 +77,10 @@ func main() {
 	}
 	if *series != "" && *probe == 0 {
 		fmt.Fprintln(os.Stderr, "leaderelect: -series requires -probe-interval")
+		os.Exit(2)
+	}
+	if *migration >= 0 && *shards < 2 {
+		fmt.Fprintln(os.Stderr, "leaderelect: -migration requires -shards ≥ 2")
 		os.Exit(2)
 	}
 	if *cpuprof != "" {
@@ -104,10 +110,17 @@ func main() {
 		return
 	}
 
+	loggedWorkers := false
 	for t := 0; t < *trials; t++ {
 		opts := []popelect.Option{popelect.WithSeed(*seed + uint64(t)), popelect.WithBackend(*backend),
 			popelect.WithBatchPolicy(*batch), popelect.WithBatchEps(*batchEps),
 			popelect.WithWorkers(*workers)}
+		if *shards > 1 {
+			opts = append(opts, popelect.WithShards(*shards))
+			if *migration >= 0 {
+				opts = append(opts, popelect.WithMigrationRate(*migration))
+			}
+		}
 		if *gamma != 0 {
 			opts = append(opts, popelect.WithGamma(*gamma))
 		}
@@ -130,6 +143,19 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "leaderelect:", err)
 			os.Exit(1)
+		}
+		if !loggedWorkers && (*workers > 1 || *shards > 1) {
+			// The engine clamps its fan-out to the census width (and short
+			// batches run serially), so the realized concurrency can sit
+			// well below the request — report it once so capacity numbers
+			// aren't misread.
+			requested := *workers
+			if *shards > 1 {
+				requested *= *shards
+			}
+			fmt.Fprintf(os.Stderr, "leaderelect: effective workers %d (requested %d)\n",
+				res.EffectiveWorkers, requested)
+			loggedWorkers = true
 		}
 		if len(res.Timeline) > 0 {
 			printTimeline(res.Timeline, *n)

@@ -32,20 +32,23 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
-		sizes    = flag.String("sizes", "", "comma-separated population sizes (default: experiment preset)")
-		trials   = flag.Int("trials", 0, "trials per measurement point (default: preset)")
-		seed     = flag.Uint64("seed", 0, "base seed (default: preset)")
-		list     = flag.Bool("list", false, "list experiment ids and exit")
-		smoke    = flag.Bool("smoke", false, "tiny configuration for a quick look")
-		backend  = flag.String("backend", "dense", "simulation backend for trial-based experiments: dense, counts or auto")
-		batch    = flag.String("batch", "auto", "counts-backend batch policy: auto, adaptive, exact, or a fixed batch length")
-		batchEps = flag.Float64("batch-eps", 0, "adaptive batch controller drift bound ε (0 = default)")
-		gamma    = flag.Int("gamma", 0, "phase-clock resolution Γ override for every clock-carrying protocol (0 = derived Γ(n))")
-		probe    = flag.Uint64("probe-interval", 0, "census-probe cadence for trajectory experiments, in interactions (0 = per-experiment default)")
-		sdir     = flag.String("series-dir", "", "directory where recording experiments (scalefigures, biassweep, clockspan, parscale) write CSV files (empty = no files)")
-		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "worker bound: concurrent trials, and sampling shards inside each counts engine (single-engine scale experiments)")
-		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		exp       = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		sizes     = flag.String("sizes", "", "comma-separated population sizes (default: experiment preset)")
+		trials    = flag.Int("trials", 0, "trials per measurement point (default: preset)")
+		seed      = flag.Uint64("seed", 0, "base seed (default: preset)")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		smoke     = flag.Bool("smoke", false, "tiny configuration for a quick look")
+		backend   = flag.String("backend", "dense", "simulation backend for trial-based experiments: dense, counts or auto")
+		batch     = flag.String("batch", "auto", "counts-backend batch policy: auto, adaptive, exact, or a fixed batch length")
+		batchEps  = flag.Float64("batch-eps", 0, "adaptive batch controller drift bound ε (0 = default)")
+		gamma     = flag.Int("gamma", 0, "phase-clock resolution Γ override for every clock-carrying protocol (0 = derived Γ(n))")
+		probe     = flag.Uint64("probe-interval", 0, "census-probe cadence for trajectory experiments, in interactions (0 = per-experiment default)")
+		sdir      = flag.String("series-dir", "", "directory where recording experiments (scalefigures, biassweep, clockspan, parscale, shardscale) write CSV files (empty = no files)")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "worker bound: concurrent trials, and sampling shards inside each counts engine (single-engine scale experiments)")
+		shards    = flag.Int("shards", 0, "run engine-building experiments (scale) on K concurrently-advanced sub-censuses with epoch migration (≤1 = single census; shardscale sweeps its own K grid)")
+		migration = flag.Float64("migration", -1, "sharded per-agent per-epoch migration probability λ (-1 = fidelity default, 0 = isolated shards; needs -shards ≥ 2)")
+		reps      = flag.Int("reps", 1, "timing repetitions per cell in throughput experiments (parscale): mean ± sd over reps")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
 
@@ -94,6 +97,21 @@ func main() {
 	cfg.SeriesDir = *sdir
 	cfg.Workers = *workers
 	cfg.EngineWorkers = *workers
+	if *migration >= 0 && *shards < 2 {
+		fmt.Fprintln(os.Stderr, "paperbench: -migration requires -shards ≥ 2")
+		os.Exit(2)
+	}
+	cfg.Shards = *shards
+	// Flag convention: -1 = engine default, 0 = isolated. Config
+	// convention (zero-value friendly): 0 = engine default, negative =
+	// isolated.
+	switch {
+	case *migration > 0:
+		cfg.Migration = *migration
+	case *migration == 0:
+		cfg.Migration = -1
+	}
+	cfg.Reps = *reps
 	if *cpuprof != "" {
 		f, err := os.Create(*cpuprof)
 		if err != nil {

@@ -31,18 +31,20 @@ import (
 
 func main() {
 	var (
-		what     = flag.String("what", "gamma", "parameter to sweep: gamma, phi, psi")
-		n        = flag.Int("n", 4096, "population size")
-		trials   = flag.Int("trials", 5, "trials per setting")
-		seed     = flag.Uint64("seed", 1, "base seed")
-		backend  = flag.String("backend", "dense", "simulation backend: dense, counts or auto")
-		batch    = flag.String("batch", "auto", "counts-backend batch policy: auto, adaptive, exact, or a fixed batch length")
-		batchEps = flag.Float64("batch-eps", 0, "adaptive batch controller drift bound ε (0 = default)")
-		gamma    = flag.Int("gamma", 0, "phase-clock resolution Γ override while sweeping phi/psi (0 = derived Γ(n); ignored by -what gamma)")
-		probe    = flag.Uint64("probe-interval", 0, "census-probe cadence for trajectory recording (0 = n/4)")
-		sdir     = flag.String("series-dir", "", "write a mean leader-count trajectory CSV per swept value into this directory")
-		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "worker bound: concurrent trials, and sampling shards inside each counts engine")
-		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		what      = flag.String("what", "gamma", "parameter to sweep: gamma, phi, psi")
+		n         = flag.Int("n", 4096, "population size")
+		trials    = flag.Int("trials", 5, "trials per setting")
+		seed      = flag.Uint64("seed", 1, "base seed")
+		backend   = flag.String("backend", "dense", "simulation backend: dense, counts or auto")
+		batch     = flag.String("batch", "auto", "counts-backend batch policy: auto, adaptive, exact, or a fixed batch length")
+		batchEps  = flag.Float64("batch-eps", 0, "adaptive batch controller drift bound ε (0 = default)")
+		gamma     = flag.Int("gamma", 0, "phase-clock resolution Γ override while sweeping phi/psi (0 = derived Γ(n); ignored by -what gamma)")
+		probe     = flag.Uint64("probe-interval", 0, "census-probe cadence for trajectory recording (0 = n/4)")
+		sdir      = flag.String("series-dir", "", "write a mean leader-count trajectory CSV per swept value into this directory")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "worker bound: concurrent trials, and sampling shards inside each counts engine")
+		shards    = flag.Int("shards", 0, "run each trial on K concurrently-advanced sub-censuses with epoch migration (≤1 = single census)")
+		migration = flag.Float64("migration", -1, "sharded per-agent per-epoch migration probability λ (-1 = fidelity default, 0 = isolated shards; requires -shards ≥ 2)")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
 
@@ -70,6 +72,20 @@ func main() {
 		os.Exit(2)
 	}
 	bp.Eps = *batchEps
+	if *migration >= 0 && *shards < 2 {
+		fmt.Fprintln(os.Stderr, "sweep: -migration requires -shards ≥ 2")
+		os.Exit(2)
+	}
+	// Flag convention: -1 = engine default, 0 = isolated. TrialConfig
+	// convention (zero-value friendly): 0 = engine default, negative =
+	// isolated.
+	tcMigration := 0.0
+	switch {
+	case *migration > 0:
+		tcMigration = *migration
+	case *migration == 0:
+		tcMigration = -1
+	}
 
 	var values []int
 	mutate := func(p *core.Params, v int) {}
@@ -134,7 +150,8 @@ func main() {
 		}
 		rs, err := sim.RunTrialsProbed[core.State, *core.Protocol](func(int) *core.Protocol { return pr },
 			sim.TrialConfig{Trials: *trials, Seed: *seed + uint64(v), Backend: be, Batch: bp,
-				Workers: *workers, EngineWorkers: *workers}, probes...)
+				Workers: *workers, EngineWorkers: *workers,
+				Shards: *shards, Migration: tcMigration}, probes...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sweep:", err)
 			os.Exit(1)

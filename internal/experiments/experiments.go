@@ -12,7 +12,9 @@ import (
 
 	"popelect/internal/core"
 	"popelect/internal/phaseclock"
+	"popelect/internal/protocols"
 	"popelect/internal/protocols/gs18"
+	"popelect/internal/rng"
 	"popelect/internal/sim"
 )
 
@@ -52,6 +54,25 @@ type Config struct {
 	// sim.ExactMaxN agents, drift-bounded adaptive batching above). The
 	// dense backend ignores it.
 	Batch sim.BatchPolicy
+
+	// Shards runs trial engines on the sharded counts backend
+	// (sim.ShardedCountsEngine) with that many sub-censuses when ≥ 2;
+	// 0 or 1 keeps a single census. The shardscale experiment sweeps its
+	// own K grid and ignores this; cmd/paperbench exposes it as -shards
+	// for the other experiments.
+	Shards int
+
+	// Migration is the sharded engine's λ, the per-agent per-epoch
+	// migration probability: 0 keeps the fidelity default
+	// (sim.DefaultMigrationRate), a positive value sets λ, a negative
+	// value disables migration. Ignored when Shards < 2 (and by
+	// shardscale, which sweeps its own λ grid). Exposed as -migration.
+	Migration float64
+
+	// Reps is the number of timing repetitions per measurement cell in
+	// throughput experiments (parscale): each cell re-times its slab Reps
+	// times and reports mean ± sd. 0 or 1 = a single rep.
+	Reps int
 
 	// Gamma overrides the phase-clock resolution Γ of every
 	// clock-carrying protocol an experiment builds (0 = the derived
@@ -187,6 +208,7 @@ func All() []struct {
 		{"biassweep", BiasSweep},
 		{"clockspan", ClockSpan},
 		{"parscale", ParScale},
+		{"shardscale", ShardScale},
 	}
 }
 
@@ -237,6 +259,25 @@ func applyWorkers(eng sim.Engine, cfg Config) sim.Engine {
 		wc.SetWorkers(cfg.EngineWorkers)
 	}
 	return eng
+}
+
+// buildEngine constructs an engine for inst honoring cfg.Shards: a sharded
+// counts engine (with cfg.Migration applied — 0 keeps the fidelity
+// default, negative disables migration) when Shards ≥ 2, the requested
+// backend otherwise. Experiments that construct engines through the
+// registry use this so -shards/-migration work like -batch/-workers do.
+func buildEngine(inst protocols.Instance, src *rng.Source, b sim.Backend, cfg Config) (sim.Engine, error) {
+	if cfg.Shards >= 2 {
+		eng, err := inst.ShardedEngine(src, cfg.Shards)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Migration != 0 {
+			eng.(sim.ShardConfigurable).SetMigrationRate(max(cfg.Migration, 0))
+		}
+		return eng, nil
+	}
+	return inst.Engine(src, b)
 }
 
 // censusOf returns an engine's current census view; both backends expose

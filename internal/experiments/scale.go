@@ -62,7 +62,7 @@ func runScaleRow(t *Table, name string, n, trials int, cfg Config, inst protocol
 	var distinct int
 	start := time.Now()
 	for tr := 0; tr < trials; tr++ {
-		eng, err := inst.Engine(trialSource(cfg, tr), sim.BackendCounts)
+		eng, err := buildEngine(inst, trialSource(cfg, tr), sim.BackendCounts, cfg)
 		if err != nil {
 			t.AddRow(d(n), name, "engine error: "+err.Error(), "—", "—", "—", "—")
 			return

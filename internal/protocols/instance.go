@@ -64,6 +64,12 @@ type Instance interface {
 	// (sim.NewEngine under the erasure).
 	Engine(src *rng.Source, b sim.Backend) (sim.Engine, error)
 
+	// ShardedEngine creates a sharded counts engine with the given shard
+	// count in fidelity mode (sim.NewShardedCountsEngine under the
+	// erasure); configure scenario mode through sim.ShardConfigurable. It
+	// fails for non-enumerable protocols.
+	ShardedEngine(src *rng.Source, shards int) (sim.Engine, error)
+
 	// AddProbe attaches a census probe to an engine built by Engine.
 	AddProbe(eng sim.Engine, p Probe, every uint64) error
 
@@ -107,6 +113,14 @@ func (in *instance[S, P]) N() int       { return in.proto.N() }
 
 func (in *instance[S, P]) Engine(src *rng.Source, b sim.Backend) (sim.Engine, error) {
 	return sim.NewEngine[S, P](in.proto, src, b)
+}
+
+func (in *instance[S, P]) ShardedEngine(src *rng.Source, shards int) (sim.Engine, error) {
+	en, ok := any(in.proto).(sim.Enumerable[S])
+	if !ok {
+		return nil, fmt.Errorf("protocols: sharded populations require %s to implement Enumerable (finite state-space enumeration)", in.proto.Name())
+	}
+	return sim.NewShardedCountsEngine[S](en, src, shards), nil
 }
 
 func (in *instance[S, P]) AddProbe(eng sim.Engine, p Probe, every uint64) error {

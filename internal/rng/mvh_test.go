@@ -1,0 +1,89 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+// TestMultiHypergeometricTotals pins the hard invariants: the allocation
+// always sums to the requested sample and never exceeds any row's count.
+func TestMultiHypergeometricTotals(t *testing.T) {
+	src := New(1)
+	counts := []int64{5, 0, 1_000_000, 37, 2, 900}
+	total := int64(0)
+	for _, c := range counts {
+		total += c
+	}
+	dst := make([]int64, len(counts))
+	for _, sample := range []int64{0, 1, 17, 944, total} {
+		for rep := 0; rep < 200; rep++ {
+			src.MultiHypergeometric(dst, counts, sample)
+			sum := int64(0)
+			for i, k := range dst {
+				if k < 0 || k > counts[i] {
+					t.Fatalf("sample %d: row %d allocated %d of %d", sample, i, k, counts[i])
+				}
+				sum += k
+			}
+			if sum != sample {
+				t.Fatalf("sample %d: allocation sums to %d", sample, sum)
+			}
+		}
+	}
+}
+
+// TestMultiHypergeometricMarginals checks each row's marginal against the
+// univariate hypergeometric mean and variance (the MVH law's marginals),
+// within a 5σ band over many draws.
+func TestMultiHypergeometricMarginals(t *testing.T) {
+	src := New(7)
+	counts := []int64{400, 100, 250, 250}
+	const total = 1000
+	const sample = 300
+	const reps = 20000
+	sums := make([]float64, len(counts))
+	sqs := make([]float64, len(counts))
+	dst := make([]int64, len(counts))
+	for rep := 0; rep < reps; rep++ {
+		src.MultiHypergeometric(dst, counts, sample)
+		for i, k := range dst {
+			sums[i] += float64(k)
+			sqs[i] += float64(k) * float64(k)
+		}
+	}
+	for i, c := range counts {
+		mean := sums[i] / reps
+		wantMean := float64(sample) * float64(c) / total
+		wantVar := wantMean * (1 - float64(c)/total) * (total - sample) / (total - 1)
+		tol := 5 * math.Sqrt(wantVar/reps)
+		if math.Abs(mean-wantMean) > tol {
+			t.Errorf("row %d: mean %.3f, want %.3f ± %.3f", i, mean, wantMean, tol)
+		}
+		v := sqs[i]/reps - mean*mean
+		if math.Abs(v-wantVar) > 0.1*wantVar {
+			t.Errorf("row %d: variance %.3f, want %.3f ± 10%%", i, v, wantVar)
+		}
+	}
+}
+
+// TestMultiHypergeometricPanics pins the argument contract.
+func TestMultiHypergeometricPanics(t *testing.T) {
+	src := New(3)
+	expectPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("length mismatch", func() {
+		src.MultiHypergeometric(make([]int64, 2), []int64{1, 2, 3}, 1)
+	})
+	expectPanic("negative count", func() {
+		src.MultiHypergeometric(make([]int64, 2), []int64{1, -1}, 1)
+	})
+	expectPanic("oversample", func() {
+		src.MultiHypergeometric(make([]int64, 2), []int64{1, 2}, 4)
+	})
+}

@@ -148,6 +148,10 @@ type CountsEngine[S comparable] struct {
 
 	// shards is the worker-pool scratch of the parallel batch path.
 	shards []countsShard
+
+	// effWorkers is the widest batch fan-out actually used since Reset
+	// (1 = every batch sampled serially); see EffectiveWorkers.
+	effWorkers int
 }
 
 // ExactMaxN is the population size below which the counts backend defaults
@@ -202,6 +206,7 @@ func (e *CountsEngine[S]) Reset() {
 	e.classCounts = make([]int64, e.proto.NumClasses())
 	e.leaders = 0
 	e.step = 0
+	e.effWorkers = 0
 	for i := 0; i < e.n; i++ {
 		id := e.indexOf(e.proto.Init(i))
 		e.pop[id]++
@@ -614,6 +619,31 @@ func (e *CountsEngine[S]) SetBatchPolicy(p BatchPolicy) { e.Policy = p }
 // determinism contract).
 func (e *CountsEngine[S]) SetWorkers(w int) { e.Workers = w }
 
+// EffectiveWorkers implements WorkerReporter: the widest batch fan-out any
+// batch actually used since the last Reset. batchShards clamps the
+// requested Workers to occupied/2 (and drops short batches or narrow
+// censuses to serial entirely), so the effective count can be well below
+// the configured one — capacity tables should report this value, not the
+// request. Returns 1 until a batch has run.
+func (e *CountsEngine[S]) EffectiveWorkers() int {
+	if e.effWorkers < 1 {
+		return 1
+	}
+	return e.effWorkers
+}
+
+// censusAdd moves k agents into (k > 0) or out of (k < 0) state s,
+// maintaining every census structure (fenwick, active list, class counts,
+// leader count) and assigning s an id on first sight. It is the sharded
+// engine's migration hook; it must not be called during a batch (staged
+// diffs are relative to the batch-start census).
+func (e *CountsEngine[S]) censusAdd(s S, k int64) {
+	if k == 0 {
+		return
+	}
+	e.bump(e.indexOf(s), k)
+}
+
 // updateAdaptive recomputes the controller's next batch length from the
 // realized per-state census drift (deltas, indexed like pops) of the last
 // scheduling unit of l interactions, where pops holds the unit's *starting*
@@ -795,6 +825,9 @@ func (e *CountsEngine[S]) runBatch(l uint64) {
 	e.occ = occ
 
 	if w := e.batchShards(l, len(occ)); w > 1 {
+		if w > e.effWorkers {
+			e.effWorkers = w
+		}
 		e.sampleBatchSharded(l, w)
 	} else {
 		e.sampleBatchSerial(l)

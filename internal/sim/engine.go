@@ -83,6 +83,17 @@ type WorkerConfigurable interface {
 	SetWorkers(int)
 }
 
+// WorkerReporter is implemented by engines that can report how much
+// concurrency they actually used, as opposed to what SetWorkers requested:
+// the counts backend clamps its batch fan-out to occupied/2 and drops
+// short batches to the serial path, so the realized width can be well
+// below the configured one. EffectiveWorkers returns the widest fan-out
+// used since the last Reset (for the sharded engine, shard count × widest
+// in-batch fan-out); CLIs log it once so capacity tables aren't misread.
+type WorkerReporter interface {
+	EffectiveWorkers() int
+}
+
 // DeltaCompiler is implemented by protocols that can compile their
 // transition function into a memoized fast path (compose.Protocol compiles
 // its interpreted module pipeline into a flat pair-table memo). CompileDelta

@@ -51,6 +51,23 @@ type TrialConfig struct {
 	// left at its zero value; see CountsEngine.BatchLen. Ignored by the
 	// dense backend.
 	BatchLen uint64
+
+	// Shards ≥ 2 runs each trial on the sharded counts backend with that
+	// many sub-censuses (see ShardedCountsEngine); 0 or 1 keeps the
+	// single-census engine. Requires an Enumerable protocol and is
+	// incompatible with BackendDense.
+	Shards int
+
+	// Migration is the sharded engine's λ (per-agent per-epoch migration
+	// probability): 0 keeps the fidelity default (DefaultMigrationRate),
+	// a positive value sets λ for scenario runs, and a negative value
+	// disables migration entirely (K isolated populations). Ignored when
+	// Shards < 2.
+	Migration float64
+
+	// ShardEpoch overrides the sharded engine's interactions-per-epoch
+	// (0 = DefaultShardEpoch). Ignored when Shards < 2.
+	ShardEpoch uint64
 }
 
 // TrialProbe attaches one census probe to every trial's engine in
@@ -98,6 +115,15 @@ func RunTrialsProbed[S comparable, P Protocol[S]](factory func(trial int) P, cfg
 	default:
 		return nil, fmt.Errorf("sim: unknown backend %q (want dense, counts or auto)", cfg.Backend)
 	}
+	if cfg.Shards >= 2 {
+		if cfg.Backend == BackendDense {
+			return nil, fmt.Errorf("sim: sharded populations need a counts backend, not %q", cfg.Backend)
+		}
+		var zero P
+		if _, ok := any(zero).(Enumerable[S]); !ok {
+			return nil, fmt.Errorf("sim: sharded populations require protocol type %T to implement Enumerable", zero)
+		}
+	}
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -140,6 +166,21 @@ func RunTrialsProbed[S comparable, P Protocol[S]](factory func(trial int) P, cfg
 // newTrialEngine builds one trial's engine from the config. The historical
 // default (empty Backend) is dense.
 func newTrialEngine[S comparable, P Protocol[S]](proto P, src *rng.Source, cfg TrialConfig) Engine {
+	if cfg.Shards >= 2 {
+		en, ok := any(proto).(Enumerable[S])
+		if !ok {
+			panic(fmt.Sprintf("sim: sharded trial on non-Enumerable protocol %T", proto)) // unreachable: validated up front
+		}
+		e := NewShardedCountsEngine[S](en, src, cfg.Shards)
+		e.MaxInteractions = cfg.MaxInteractions
+		e.SetBatchPolicy(cfg.Batch)
+		e.SetWorkers(cfg.EngineWorkers)
+		if cfg.Migration != 0 {
+			e.Migration = max(cfg.Migration, 0)
+		}
+		e.SetEpochLen(cfg.ShardEpoch)
+		return e
+	}
 	backend := cfg.Backend
 	if backend == "" {
 		backend = BackendDense

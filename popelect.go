@@ -82,6 +82,11 @@ type Result struct {
 	// DistinctStates is the number of distinct agent states used during
 	// the run (an empirical space measure), if state tracking was on.
 	DistinctStates int
+	// EffectiveWorkers is the concurrency the engine actually used (the
+	// counts backend clamps its batch fan-out to the census width; the
+	// sharded backend reports shard count × in-batch fan-out). 1 for the
+	// serial paths and the dense backend.
+	EffectiveWorkers int
 	// Timeline is the census timeline recorded by WithCensusTimeline
 	// (nil without it): one sample per interval plus the initial
 	// configuration and the stabilization point.
@@ -112,6 +117,9 @@ type options struct {
 	batch         string
 	batchEps      float64
 	workers       int
+	shards        int
+	migration     float64
+	migrationSet  bool
 	timelineEvery uint64
 }
 
@@ -173,6 +181,28 @@ func WithBatchEps(eps float64) Option { return func(o *options) { o.batchEps = e
 // different trajectories, exactly like changing the seed. 0 (the default)
 // keeps the serial path.
 func WithWorkers(workers int) Option { return func(o *options) { o.workers = workers } }
+
+// WithShards partitions the population into K sub-censuses advanced by K
+// concurrent goroutines with no per-interaction coordination, exchanging
+// agents at epoch boundaries (the sharded counts backend; see
+// sim.ShardedCountsEngine). K ≤ 1 keeps a single census. Sharding requires
+// an enumerable protocol and overrides the WithBackend choice (the dense
+// backend cannot shard); WithWorkers then sets each shard's in-batch
+// fan-out, multiplying total concurrency to K·w. Determinism contract: a
+// fixed (K, λ, seed) tuple replays byte-identically on any machine;
+// different K or λ are different models. Defaults to fidelity mode —
+// epoch n/16, λ = sim.DefaultMigrationRate — whose stabilization-time law
+// is validated KS-consistent with the global uniform scheduler.
+func WithShards(shards int) Option { return func(o *options) { o.shards = shards } }
+
+// WithMigrationRate sets λ, the probability that an agent joins the
+// inter-shard exchange at each epoch boundary (scenario mode: the
+// clustered communication graph is the model, and weak λ is how the
+// derived Γ(n) clock gets stress-tested). 0 disables migration entirely,
+// leaving K isolated populations. Only meaningful with WithShards ≥ 2.
+func WithMigrationRate(lambda float64) Option {
+	return func(o *options) { o.migration = lambda; o.migrationSet = true }
+}
 
 // WithCensusTimeline records a census sample (leader count, occupied
 // states) every interval interactions into Result.Timeline, plus the
@@ -238,7 +268,16 @@ func run(inst protocols.Instance, o options) (Result, error) {
 			return Result{}, fmt.Errorf("popelect: %w", err)
 		}
 	}
-	eng, err := inst.Engine(rng.New(o.seed), backend)
+	var eng sim.Engine
+	var err error
+	if o.shards >= 2 {
+		eng, err = inst.ShardedEngine(rng.New(o.seed), o.shards)
+		if err == nil && o.migrationSet {
+			eng.(sim.ShardConfigurable).SetMigrationRate(o.migration)
+		}
+	} else {
+		eng, err = inst.Engine(rng.New(o.seed), backend)
+	}
 	if err != nil {
 		return Result{}, fmt.Errorf("popelect: %w", err)
 	}
@@ -283,12 +322,17 @@ func run(inst protocols.Instance, o options) (Result, error) {
 		return Result{}, fmt.Errorf("popelect: %s did not stabilize within %d interactions",
 			inst.Name(), res.Interactions)
 	}
+	effective := 1
+	if wr, ok := eng.(sim.WorkerReporter); ok {
+		effective = wr.EffectiveWorkers()
+	}
 	return Result{
-		LeaderID:       res.LeaderID,
-		Leaders:        res.Leaders,
-		Interactions:   res.Interactions,
-		ParallelTime:   res.ParallelTime(),
-		DistinctStates: res.DistinctStates,
-		Timeline:       timeline,
+		LeaderID:         res.LeaderID,
+		Leaders:          res.Leaders,
+		Interactions:     res.Interactions,
+		ParallelTime:     res.ParallelTime(),
+		DistinctStates:   res.DistinctStates,
+		EffectiveWorkers: effective,
+		Timeline:         timeline,
 	}, nil
 }
