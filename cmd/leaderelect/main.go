@@ -55,6 +55,9 @@ func main() {
 		verbose   = flag.Bool("v", false, "print a census timeline (gsu19 only; forces the dense backend)")
 		probe     = flag.Uint64("probe-interval", 0, "record a census sample (leaders, occupied states) every N interactions; works on every backend")
 		series    = flag.String("series", "", "write the recorded census timeline as CSV to this path (requires -probe-interval)")
+		ckpt      = flag.String("checkpoint", "", "snapshot the engine to this file (atomically) about every -checkpoint-every interactions; trials > 1 append a .trialT suffix")
+		ckptEvery = flag.Uint64("checkpoint-every", 0, "checkpoint cadence in interactions (0 with -checkpoint = n)")
+		resume    = flag.Bool("resume", false, "restore from the -checkpoint file before running; a missing file starts fresh, so a killed run can be relaunched with the same command line and finishes byte-identically")
 	)
 	flag.Parse()
 
@@ -81,6 +84,14 @@ func main() {
 	}
 	if *migration >= 0 && *shards < 2 {
 		fmt.Fprintln(os.Stderr, "leaderelect: -migration requires -shards ≥ 2")
+		os.Exit(2)
+	}
+	if (*resume || *ckptEvery > 0) && *ckpt == "" {
+		fmt.Fprintln(os.Stderr, "leaderelect: -resume/-checkpoint-every require -checkpoint")
+		os.Exit(2)
+	}
+	if *ckpt != "" && *verbose {
+		fmt.Fprintln(os.Stderr, "leaderelect: -v and -checkpoint are mutually exclusive")
 		os.Exit(2)
 	}
 	if *cpuprof != "" {
@@ -132,6 +143,20 @@ func main() {
 		}
 		if *probe > 0 {
 			opts = append(opts, popelect.WithCensusTimeline(*probe))
+		}
+		if *ckpt != "" {
+			path := *ckpt
+			if *trials > 1 {
+				path = fmt.Sprintf("%s.trial%d", path, t)
+			}
+			every := *ckptEvery
+			if every == 0 {
+				every = uint64(*n)
+			}
+			opts = append(opts, popelect.WithCheckpoint(path, every))
+			if *resume {
+				opts = append(opts, popelect.WithResume(path))
+			}
 		}
 		run := popelect.ElectWith
 		if !entry.Elects {

@@ -28,6 +28,7 @@ import (
 	"popelect/internal/experiments"
 	"popelect/internal/phaseclock"
 	"popelect/internal/sim"
+	"popelect/internal/store"
 )
 
 func main() {
@@ -48,6 +49,7 @@ func main() {
 		shards    = flag.Int("shards", 0, "run engine-building experiments (scale) on K concurrently-advanced sub-censuses with epoch migration (≤1 = single census; shardscale sweeps its own K grid)")
 		migration = flag.Float64("migration", -1, "sharded per-agent per-epoch migration probability λ (-1 = fidelity default, 0 = isolated shards; needs -shards ≥ 2)")
 		reps      = flag.Int("reps", 1, "timing repetitions per cell in throughput experiments (parscale): mean ± sd over reps")
+		storeDir  = flag.String("store", "", "content-addressed result store directory: trial batches already computed under the same key are reused instead of re-simulated")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
@@ -112,6 +114,14 @@ func main() {
 		cfg.Migration = -1
 	}
 	cfg.Reps = *reps
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(2)
+		}
+		cfg.Store = st
+	}
 	if *cpuprof != "" {
 		f, err := os.Create(*cpuprof)
 		if err != nil {
@@ -151,7 +161,13 @@ func main() {
 		}
 		start := time.Now()
 		tables := run(cfg)
-		experiments.RenderAll(os.Stdout, tables)
+		if err := experiments.RenderAll(os.Stdout, tables); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
 		fmt.Printf("(%s finished in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if cfg.Store != nil {
+		fmt.Fprintf(os.Stderr, "paperbench: %s\n", cfg.Store)
 	}
 }

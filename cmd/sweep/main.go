@@ -27,6 +27,7 @@ import (
 	"popelect/internal/phaseclock"
 	"popelect/internal/sim"
 	"popelect/internal/stats"
+	"popelect/internal/store"
 )
 
 func main() {
@@ -44,6 +45,7 @@ func main() {
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "worker bound: concurrent trials, and sampling shards inside each counts engine")
 		shards    = flag.Int("shards", 0, "run each trial on K concurrently-advanced sub-censuses with epoch migration (≤1 = single census)")
 		migration = flag.Float64("migration", -1, "sharded per-agent per-epoch migration probability λ (-1 = fidelity default, 0 = isolated shards; requires -shards ≥ 2)")
+		storeDir  = flag.String("store", "", "content-addressed result store directory: sweep cells already computed under the same key (parameters, n, trials, seed, backend, policy) are reused instead of re-simulated")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
@@ -85,6 +87,14 @@ func main() {
 		tcMigration = *migration
 	case *migration == 0:
 		tcMigration = -1
+	}
+	var st *store.Store
+	if *storeDir != "" {
+		st, err = store.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(2)
+		}
 	}
 
 	var values []int
@@ -148,13 +158,60 @@ func main() {
 				},
 			})
 		}
-		rs, err := sim.RunTrialsProbed[core.State, *core.Protocol](func(int) *core.Protocol { return pr },
-			sim.TrialConfig{Trials: *trials, Seed: *seed + uint64(v), Backend: be, Batch: bp,
-				Workers: *workers, EngineWorkers: *workers,
-				Shards: *shards, Migration: tcMigration}, probes...)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "sweep:", err)
-			os.Exit(1)
+		// The cell's cache key: everything that determines the trial
+		// trajectories and their observation. A hit substitutes stored
+		// results (and, when trajectories are requested, stored per-trial
+		// series) for the simulation.
+		resKey := store.Key{Kind: "sweep", Protocol: "gsu19", N: *n, Trials: *trials,
+			Seed: *seed + uint64(v), Backend: string(be), Batch: bp.String(),
+			Workers: *workers, Shards: *shards, Migration: tcMigration,
+			Gamma: *gamma, Extra: fmt.Sprintf("%s=%d", *what, v)}
+		serKey := resKey
+		serKey.Kind = "sweep-series"
+		serKey.ProbeEvery = every
+		var rs []sim.Result
+		cached := false
+		if st != nil {
+			crs, hit, err := st.GetResults(resKey)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sweep:", err)
+				os.Exit(1)
+			}
+			if hit && *sdir == "" {
+				rs, cached = crs, true
+			} else if hit {
+				cser, hit2, err := st.GetSeries(serKey)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "sweep:", err)
+					os.Exit(1)
+				}
+				if hit2 && len(cser) == *trials {
+					copy(perTrial, cser)
+					rs, cached = crs, true
+				}
+			}
+		}
+		if !cached {
+			rs, err = sim.RunTrialsProbed[core.State, *core.Protocol](func(int) *core.Protocol { return pr },
+				sim.TrialConfig{Trials: *trials, Seed: *seed + uint64(v), Backend: be, Batch: bp,
+					Workers: *workers, EngineWorkers: *workers,
+					Shards: *shards, Migration: tcMigration}, probes...)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sweep:", err)
+				os.Exit(1)
+			}
+			if st != nil {
+				if err := st.PutResults(resKey, rs); err != nil {
+					fmt.Fprintln(os.Stderr, "sweep:", err)
+					os.Exit(1)
+				}
+				if *sdir != "" {
+					if err := st.PutSeries(serKey, perTrial); err != nil {
+						fmt.Fprintln(os.Stderr, "sweep:", err)
+						os.Exit(1)
+					}
+				}
+			}
 		}
 		if *sdir != "" {
 			// Merge the per-trial series into one mean/min/max trajectory.
@@ -174,5 +231,8 @@ func main() {
 	w.Flush()
 	if *sdir != "" {
 		fmt.Printf("\nmean leader-count trajectories (per swept value) written to %s/\n", *sdir)
+	}
+	if st != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %s\n", st)
 	}
 }

@@ -58,7 +58,7 @@ func BiasSweep(cfg Config) []*Table {
 			"KS distance", "KS crit (α=0.05)", "converged"},
 	}
 
-	denseRes := mustRun(sim.RunTrials[uint32, *gs18.Protocol](factory, sim.TrialConfig{
+	denseRes := mustRun(cachedTrials[uint32, *gs18.Protocol](cfg, "biassweep", "gs18", n, factory, sim.TrialConfig{
 		Trials: cfg.Trials, Seed: cfg.Seed + 41, Workers: cfg.Workers, EngineWorkers: cfg.EngineWorkers, Backend: sim.BackendDense,
 	}))
 	denseTimes := sim.ParallelTimes(denseRes)
@@ -75,7 +75,7 @@ func BiasSweep(cfg Config) []*Table {
 	csvRows = append(csvRows, []string{"dense", "", d(len(denseRes)),
 		f2(denseMean), f2(denseHW), "", ""})
 	for _, p := range biasPolicies(n) {
-		rs := mustRun(sim.RunTrials[uint32, *gs18.Protocol](factory, sim.TrialConfig{
+		rs := mustRun(cachedTrials[uint32, *gs18.Protocol](cfg, "biassweep", "gs18", n, factory, sim.TrialConfig{
 			Trials: countsTrials, Seed: cfg.Seed + 43, Workers: cfg.Workers, EngineWorkers: cfg.EngineWorkers,
 			Backend: sim.BackendCounts, Batch: p.policy,
 		}))

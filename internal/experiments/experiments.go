@@ -16,6 +16,7 @@ import (
 	"popelect/internal/protocols/gs18"
 	"popelect/internal/rng"
 	"popelect/internal/sim"
+	"popelect/internal/store"
 )
 
 // Config controls experiment scale. The zero value is unusable; start from
@@ -90,6 +91,15 @@ type Config struct {
 	// experiments (scalefigures) write CSV time-series files. Empty
 	// disables file output; trajectories are still summarized in tables.
 	SeriesDir string
+
+	// Store, when non-nil, is a content-addressed result cache: trial
+	// batches whose full configuration hashes to an existing entry are
+	// read back instead of re-simulated (sound because engines are
+	// deterministic functions of their configuration and seed — see
+	// internal/store). Probed batches always run, since a substituted
+	// result would silently skip their observations. cmd/paperbench wires
+	// it through -store and reports the hit/miss tally once per run.
+	Store *store.Store
 }
 
 // DefaultConfig returns the configuration used for EXPERIMENTS.md.
@@ -132,9 +142,12 @@ func (t *Table) AddNote(format string, args ...any) {
 	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
 }
 
-// Render writes the table as aligned text.
-func (t *Table) Render(w io.Writer) {
-	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+// Render writes the table as aligned text, reporting the first write error
+// (a full disk would otherwise truncate the artifact silently).
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title); err != nil {
+		return err
+	}
 	widths := make([]int, len(t.Columns))
 	for c, col := range t.Columns {
 		widths[c] = len([]rune(col))
@@ -153,30 +166,42 @@ func (t *Table) Render(w io.Writer) {
 	for c, col := range t.Columns {
 		header[c] = pad(col, widths[c])
 	}
-	fmt.Fprintln(w, strings.Join(header, "  "))
+	if _, err := fmt.Fprintln(w, strings.Join(header, "  ")); err != nil {
+		return err
+	}
 	total := len(widths) - 1
 	for _, wd := range widths {
 		total += wd + 1
 	}
-	fmt.Fprintln(w, strings.Repeat("-", total))
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+		return err
+	}
 	for _, row := range t.Rows {
 		cells := make([]string, len(row))
 		for c, cell := range row {
 			cells[c] = pad(cell, widths[c])
 		}
-		fmt.Fprintln(w, strings.Join(cells, "  "))
+		if _, err := fmt.Fprintln(w, strings.Join(cells, "  ")); err != nil {
+			return err
+		}
 	}
 	for _, n := range t.Notes {
-		fmt.Fprintf(w, "note: %s\n", n)
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
 	}
-	fmt.Fprintln(w)
+	_, err := fmt.Fprintln(w)
+	return err
 }
 
-// RenderAll writes several tables.
-func RenderAll(w io.Writer, tables []*Table) {
+// RenderAll writes several tables, stopping at the first write error.
+func RenderAll(w io.Writer, tables []*Table) error {
 	for _, t := range tables {
-		t.Render(w)
+		if err := t.Render(w); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // Registry maps experiment ids to runners, for cmd/paperbench.
@@ -220,6 +245,61 @@ func Lookup(id string) (Runner, bool) {
 		}
 	}
 	return nil, false
+}
+
+// trialKey builds the store key of one trial batch: the experiment id, the
+// protocol name, and every TrialConfig field that influences the simulated
+// trajectories. Trial-pool concurrency (tc.Workers) is deliberately
+// excluded — RunTrials results are independent of it — while the
+// engine-internal fan-out is not (different widths consume randomness in
+// different orders).
+func trialKey(cfg Config, kind, protocol string, n int, tc sim.TrialConfig) store.Key {
+	return store.Key{
+		Kind:       kind,
+		Protocol:   protocol,
+		N:          n,
+		Trials:     tc.Trials,
+		Seed:       tc.Seed,
+		Budget:     tc.MaxInteractions,
+		Backend:    string(tc.Backend),
+		Batch:      tc.Batch.String(),
+		Workers:    tc.EngineWorkers,
+		Shards:     tc.Shards,
+		Migration:  tc.Migration,
+		ShardEpoch: tc.ShardEpoch,
+		Gamma:      cfg.Gamma,
+		Extra:      fmt.Sprintf("track=%t,batchlen=%d", tc.TrackStates, tc.BatchLen),
+	}
+}
+
+// cachedCell runs one measurement cell through cfg.Store: a hit substitutes
+// the stored results for the run, a miss runs and stores. With no store
+// configured it just runs.
+func cachedCell(cfg Config, key store.Key, run func() ([]sim.Result, error)) ([]sim.Result, error) {
+	if cfg.Store == nil {
+		return run()
+	}
+	if rs, ok, err := cfg.Store.GetResults(key); err != nil {
+		return nil, err
+	} else if ok {
+		return rs, nil
+	}
+	rs, err := run()
+	if err != nil {
+		return nil, err
+	}
+	if err := cfg.Store.PutResults(key, rs); err != nil {
+		return nil, err
+	}
+	return rs, nil
+}
+
+// cachedTrials is cachedCell over sim.RunTrials for experiments that build
+// their protocol values directly.
+func cachedTrials[S comparable, P sim.Protocol[S]](cfg Config, kind, protocol string, n int, factory func(int) P, tc sim.TrialConfig) ([]sim.Result, error) {
+	return cachedCell(cfg, trialKey(cfg, kind, protocol, n, tc), func() ([]sim.Result, error) {
+		return sim.RunTrials[S, P](factory, tc)
+	})
 }
 
 // mustRun unwraps a RunTrials result; experiment configurations are

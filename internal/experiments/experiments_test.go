@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"popelect/internal/sim"
+	"popelect/internal/store"
 )
 
 // Smoke tests: every experiment must produce at least one table with rows
@@ -318,5 +319,60 @@ func TestConfigs(t *testing.T) {
 	smoke := SmokeConfig()
 	if maxSize(smoke) >= maxSize(def) {
 		t.Fatal("smoke config should be smaller than default")
+	}
+}
+
+// failWriter errors after a byte budget, standing in for a full disk.
+type failWriter struct{ budget int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if len(p) > w.budget {
+		n := w.budget
+		w.budget = 0
+		return n, os.ErrClosed
+	}
+	w.budget -= len(p)
+	return len(p), nil
+}
+
+func TestRenderSurfacesWriteErrors(t *testing.T) {
+	tab := &Table{ID: "x", Title: "demo", Columns: []string{"col", "value"}}
+	tab.AddRow("a", "1")
+	if err := tab.Render(&failWriter{budget: 4}); err == nil {
+		t.Fatal("Render must surface the write error")
+	}
+	if err := RenderAll(&failWriter{budget: 4}, []*Table{tab}); err == nil {
+		t.Fatal("RenderAll must surface the write error")
+	}
+}
+
+// TestStoreReuse runs one trial-based experiment twice against a result
+// store: the second run must be answered entirely from the cache and
+// produce identical tables.
+func TestStoreReuse(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SmokeConfig()
+	cfg.Store = st
+
+	var first, second bytes.Buffer
+	if err := RenderAll(&first, Theorem82(cfg)); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := st.Stats()
+	if hits != 0 || misses != uint64(len(cfg.Sizes)) {
+		t.Fatalf("first run: %d hits, %d misses; want 0, %d", hits, misses, len(cfg.Sizes))
+	}
+	if err := RenderAll(&second, Theorem82(cfg)); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses = st.Stats()
+	if hits != uint64(len(cfg.Sizes)) || misses != uint64(len(cfg.Sizes)) {
+		t.Fatalf("second run: %d hits, %d misses; want %d, %d", hits, misses, len(cfg.Sizes), len(cfg.Sizes))
+	}
+	if first.String() != second.String() {
+		t.Fatalf("cached run diverges from computed run:\n--- first\n%s\n--- second\n%s", first.String(), second.String())
 	}
 }

@@ -99,5 +99,7 @@ func runTable1Cell(cfg Config, e protocols.Entry, n int) ([]sim.Result, error) {
 	if tc.Backend == sim.BackendCounts && !inst.Enumerable() {
 		tc.Backend = sim.BackendAuto
 	}
-	return inst.Trials(tc)
+	return cachedCell(cfg, trialKey(cfg, "table1", e.Name, n, tc), func() ([]sim.Result, error) {
+		return inst.Trials(tc)
+	})
 }

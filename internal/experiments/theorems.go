@@ -80,7 +80,7 @@ func Theorem82(cfg Config) []*Table {
 	var ns, means []float64
 	for _, n := range cfg.Sizes {
 		pr := core.MustNew(coreParams(cfg, n))
-		rs := mustRun(sim.RunTrials[core.State, *core.Protocol](func(int) *core.Protocol { return pr },
+		rs := mustRun(cachedTrials[core.State, *core.Protocol](cfg, "thm82", "gsu19", n, func(int) *core.Protocol { return pr },
 			sim.TrialConfig{Trials: cfg.Trials, Seed: cfg.Seed + 6 + uint64(n), Workers: cfg.Workers, EngineWorkers: cfg.EngineWorkers, Backend: cfg.Backend, Batch: cfg.Batch}))
 		ok := 0
 		for _, res := range rs {
@@ -127,7 +127,7 @@ func Epidemic(cfg Config) []*Table {
 		if err != nil {
 			continue
 		}
-		rs := mustRun(sim.RunTrials[uint32, *epidemic.Protocol](func(int) *epidemic.Protocol { return p },
+		rs := mustRun(cachedTrials[uint32, *epidemic.Protocol](cfg, "epidemic", "epidemic", n, func(int) *epidemic.Protocol { return p },
 			sim.TrialConfig{Trials: cfg.Trials, Seed: cfg.Seed + 7, Workers: cfg.Workers, EngineWorkers: cfg.EngineWorkers, Backend: cfg.Backend, Batch: cfg.Batch}))
 		if !sim.AllConverged(rs) {
 			continue
@@ -172,7 +172,7 @@ func Ablation(cfg Config) []*Table {
 			params := coreParams(cfg, n)
 			v.mutate(&params)
 			pr := core.MustNew(params)
-			rs := mustRun(sim.RunTrials[core.State, *core.Protocol](func(int) *core.Protocol { return pr },
+			rs := mustRun(cachedTrials[core.State, *core.Protocol](cfg, "ablation", "gsu19/"+v.name, n, func(int) *core.Protocol { return pr },
 				sim.TrialConfig{Trials: cfg.Trials, Seed: cfg.Seed + 8 + uint64(n), Workers: cfg.Workers, EngineWorkers: cfg.EngineWorkers, Backend: cfg.Backend, Batch: cfg.Batch}))
 			if !sim.AllConverged(rs) {
 				t.AddRow(v.name, d(n), "timeout in "+d(len(rs)-sim.ConvergedCount(rs))+" trials", "—", "—", "—")

@@ -7,6 +7,12 @@
 // which derives statistically independent streams from a base seed.
 package rng
 
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
 // Source is a xoshiro256++ pseudo-random generator. The zero value is not a
 // valid generator; use New or NewStream.
 type Source struct {
@@ -98,6 +104,54 @@ func (s *Source) Split(shard uint64) *Source {
 	k = s.s3
 	x ^= splitMix64(&k)
 	return New(x)
+}
+
+// SourceStateLen is the length in bytes of a Source state snapshot: four
+// xoshiro256++ state words, the Marsaglia polar spare value, and its
+// validity flag.
+const SourceStateLen = 4*8 + 8 + 1
+
+// State returns the complete generator state as a fixed-length byte
+// snapshot. Restoring the snapshot with SetState — in this process or any
+// other — yields a generator whose future output is identical to this one's,
+// including the cached Normal() spare. Split-derived children are covered
+// automatically: Split is a pure function of the parent state, so a restored
+// parent produces identical children.
+func (s *Source) State() []byte {
+	buf := make([]byte, SourceStateLen)
+	binary.LittleEndian.PutUint64(buf[0:], s.s0)
+	binary.LittleEndian.PutUint64(buf[8:], s.s1)
+	binary.LittleEndian.PutUint64(buf[16:], s.s2)
+	binary.LittleEndian.PutUint64(buf[24:], s.s3)
+	binary.LittleEndian.PutUint64(buf[32:], math.Float64bits(s.spare))
+	if s.hasSpare {
+		buf[40] = 1
+	}
+	return buf
+}
+
+// SetState restores a state snapshot previously produced by State. It
+// rejects snapshots of the wrong length, snapshots whose xoshiro state words
+// are all zero (the one invalid xoshiro256++ state), and corrupted spare
+// flags, leaving the generator untouched on error.
+func (s *Source) SetState(state []byte) error {
+	if len(state) != SourceStateLen {
+		return fmt.Errorf("rng: bad state length %d (want %d)", len(state), SourceStateLen)
+	}
+	s0 := binary.LittleEndian.Uint64(state[0:])
+	s1 := binary.LittleEndian.Uint64(state[8:])
+	s2 := binary.LittleEndian.Uint64(state[16:])
+	s3 := binary.LittleEndian.Uint64(state[24:])
+	if s0|s1|s2|s3 == 0 {
+		return fmt.Errorf("rng: invalid state: all xoshiro words zero")
+	}
+	if state[40] > 1 {
+		return fmt.Errorf("rng: invalid state: spare flag %d", state[40])
+	}
+	s.s0, s.s1, s.s2, s.s3 = s0, s1, s2, s3
+	s.spare = math.Float64frombits(binary.LittleEndian.Uint64(state[32:]))
+	s.hasSpare = state[40] == 1
+	return nil
 }
 
 // Jump advances the generator by 2^128 steps, equivalent to that many calls

@@ -1,0 +1,100 @@
+package rng
+
+import (
+	"strings"
+	"testing"
+)
+
+// sameOutput asserts a and b produce identical output for the next n draws,
+// mixing Uint64 and Normal so the polar-method spare is exercised.
+func sameOutput(t *testing.T, a, b *Source, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("draw %d: Uint64 %d != %d", i, got, want)
+		}
+		if got, want := a.Normal(), b.Normal(); got != want {
+			t.Fatalf("draw %d: Normal %g != %g", i, got, want)
+		}
+	}
+}
+
+func TestStateRoundTripFresh(t *testing.T) {
+	a := New(42)
+	b := New(1) // deliberately different; SetState must overwrite it
+	if err := b.SetState(a.State()); err != nil {
+		t.Fatalf("SetState: %v", err)
+	}
+	sameOutput(t, a, b, 200)
+}
+
+func TestStateRoundTripAdvanced(t *testing.T) {
+	a := NewStream(7, 3)
+	for i := 0; i < 1000; i++ {
+		a.Uint64()
+	}
+	a.Normal() // leave a spare cached so hasSpare=true is serialized
+	b := New(0xdead)
+	if err := b.SetState(a.State()); err != nil {
+		t.Fatalf("SetState: %v", err)
+	}
+	sameOutput(t, a, b, 200)
+}
+
+func TestStateRoundTripSplitDerived(t *testing.T) {
+	parent := New(99)
+	parent.Uint64()
+	child := parent.Split(5)
+	child.Uint64()
+	child.Normal()
+
+	// Restoring the child directly round-trips.
+	c2 := New(1)
+	if err := c2.SetState(child.State()); err != nil {
+		t.Fatalf("SetState(child): %v", err)
+	}
+	sameOutput(t, child, c2, 100)
+
+	// Restoring the parent reproduces identical future children: Split is a
+	// pure function of the parent state.
+	p2 := New(1)
+	if err := p2.SetState(parent.State()); err != nil {
+		t.Fatalf("SetState(parent): %v", err)
+	}
+	sameOutput(t, parent.Split(9), p2.Split(9), 100)
+}
+
+func TestSetStateRejectsBadInput(t *testing.T) {
+	good := New(3).State()
+
+	first := New(3).Uint64()
+	cases := []struct {
+		name  string
+		state []byte
+		want  string
+	}{
+		{"truncated", good[:SourceStateLen-1], "bad state length"},
+		{"empty", nil, "bad state length"},
+		{"oversized", append(append([]byte{}, good...), 0), "bad state length"},
+		{"all-zero", make([]byte, SourceStateLen), "all xoshiro words zero"},
+		{"bad-spare-flag", func() []byte {
+			c := append([]byte{}, good...)
+			c[40] = 7
+			return c
+		}(), "spare flag"},
+	}
+	for _, tc := range cases {
+		s := New(3)
+		err := s.SetState(tc.state)
+		if err == nil {
+			t.Fatalf("%s: SetState accepted invalid state", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+		// A failed SetState must leave the generator untouched.
+		if s.Uint64() != first {
+			t.Fatalf("%s: failed SetState modified the generator", tc.name)
+		}
+	}
+}

@@ -152,6 +152,11 @@ type CountsEngine[S comparable] struct {
 	// effWorkers is the widest batch fan-out actually used since Reset
 	// (1 = every batch sampled serially); see EffectiveWorkers.
 	effWorkers int
+
+	// ckpt schedules periodic checkpoints (see SetCheckpoint); enumIdx is
+	// the lazily built state → States()-index map of the snapshot codec.
+	ckpt    ckptState
+	enumIdx map[S]int32
 }
 
 // ExactMaxN is the population size below which the counts backend defaults
@@ -202,6 +207,7 @@ func (e *CountsEngine[S]) Reset() {
 	}
 	e.growDeltaTab()
 	e.probes.rebase(0)
+	e.ckpt.rebase(0)
 	e.adaptLen = 0
 	e.classCounts = make([]int64, e.proto.NumClasses())
 	e.leaders = 0
@@ -556,10 +562,18 @@ func (e *CountsEngine[S]) nextAdvance(remaining uint64) (uint64, bool) {
 	exact := false
 	switch p.Mode {
 	case BatchExact:
-		// Exact chunks are bounded only by the caller's budget; Step
-		// handles probe cadence itself, and the chunk loop re-checks
+		// Exact chunks are bounded only by the caller's budget and the
+		// checkpoint cadence (splitting a pure Step loop is trajectory-
+		// neutral, so the clamp lands checkpoints exactly on their cadence);
+		// Step handles probe cadence itself, and the chunk loop re-checks
 		// stability per changed step.
-		return max(remaining, 1), true
+		l = max(remaining, 1)
+		if cb := e.ckpt.boundary(); cb != noProbe && cb > e.step {
+			if room := cb - e.step; l > room {
+				l = room
+			}
+		}
+		return l, true
 	case BatchFixed:
 		l = p.Len
 	case BatchAdaptive:
@@ -1036,6 +1050,7 @@ func (e *CountsEngine[S]) Run() Result {
 			}
 			converged = e.proto.Stable(e.classCounts)
 		}
+		e.maybeCheckpoint()
 	}
 	if !e.probes.empty() {
 		e.probes.fireFinal(e.step, countsView[S]{e: e, step: e.step})
@@ -1059,6 +1074,7 @@ func (e *CountsEngine[S]) RunSteps(k uint64) Result {
 				e.fireProbes()
 			}
 		}
+		e.maybeCheckpoint()
 	}
 	return e.result(e.proto.Stable(e.classCounts))
 }

@@ -165,17 +165,59 @@ func (ps *probeSet[S]) nextBoundary() uint64 {
 func (ps *probeSet[S]) due(step uint64) bool { return step == ps.next }
 
 // fire invokes every entry due at step and advances its schedule. view is
-// constructed by the caller (lazily where possible).
+// constructed by the caller (lazily where possible). The schedule is
+// advanced before the entry's function runs, so a checkpoint taken at a
+// probe boundary records the post-fire schedule (restoring the pre-fire one
+// would leave next == the current step and stall the entry forever).
 func (ps *probeSet[S]) fire(step uint64, view CensusView[S]) {
 	for i := range ps.entries {
 		if ps.entries[i].next == step {
-			ps.entries[i].fn(step, view)
 			ps.entries[i].next = nextMultiple(step, ps.entries[i].every)
 			ps.entries[i].lastFired = step
 			ps.entries[i].hasFired = true
+			ps.entries[i].fn(step, view)
 		}
 	}
 	ps.recompute()
+}
+
+// probeSchedule is the serializable position of one probe entry within its
+// cadence, captured into checkpoints. The probe functions themselves are
+// not serialized: a resuming process re-registers the same probes (in the
+// same order) and restoreSchedules re-aligns their positions.
+type probeSchedule struct {
+	Every     uint64
+	Next      uint64
+	LastFired uint64
+	HasFired  bool
+}
+
+// schedules snapshots the cadence position of every registered entry.
+func (ps *probeSet[S]) schedules() []probeSchedule {
+	out := make([]probeSchedule, len(ps.entries))
+	for i, e := range ps.entries {
+		out[i] = probeSchedule{Every: e.every, Next: e.next, LastFired: e.lastFired, HasFired: e.hasFired}
+	}
+	return out
+}
+
+// restoreSchedules re-aligns the registered entries with schedules captured
+// by a checkpoint. The resuming process must have registered the same
+// probes in the same order; entry count or cadence mismatches are rejected.
+func (ps *probeSet[S]) restoreSchedules(scheds []probeSchedule) error {
+	if len(scheds) != len(ps.entries) {
+		return fmt.Errorf("sim: checkpoint has %d probe schedules, engine has %d probes registered", len(scheds), len(ps.entries))
+	}
+	for i, sc := range scheds {
+		if ps.entries[i].every != sc.Every {
+			return fmt.Errorf("sim: probe %d cadence mismatch: checkpoint every=%d, registered every=%d", i, sc.Every, ps.entries[i].every)
+		}
+		ps.entries[i].next = sc.Next
+		ps.entries[i].lastFired = sc.LastFired
+		ps.entries[i].hasFired = sc.HasFired
+	}
+	ps.recompute()
+	return nil
 }
 
 // fireFinal invokes every entry once with the final snapshot of a Run,

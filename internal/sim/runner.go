@@ -72,6 +72,11 @@ type Runner[S comparable, P Protocol[S]] struct {
 
 	seen map[S]struct{}
 	step uint64
+
+	// ckpt schedules periodic checkpoints (see SetCheckpoint); enumIdx is
+	// the lazily built state → States()-index map of the snapshot codec.
+	ckpt    ckptState
+	enumIdx map[S]int32
 }
 
 // NewRunner creates a runner for proto using the given pair source
@@ -131,6 +136,7 @@ func (r *Runner[S, P]) Reset() {
 		r.stateCensus = buildCensus(r.pop)
 	}
 	r.probes.rebase(0)
+	r.ckpt.rebase(0)
 }
 
 // buildCensus aggregates a population slice into a state→count map.
@@ -340,6 +346,9 @@ func (r *Runner[S, P]) Run() Result {
 		if changed && (check == 1 || r.step%check == 0) {
 			converged = r.proto.Stable(r.counts)
 		}
+		if r.ckpt.due(r.step) {
+			r.ckpt.fire(r.step, r.Snapshot)
+		}
 	}
 	// A final stability check in case the last step crossed the predicate
 	// between check intervals.
@@ -359,6 +368,9 @@ func (r *Runner[S, P]) Run() Result {
 func (r *Runner[S, P]) RunSteps(k uint64) Result {
 	for i := uint64(0); i < k; i++ {
 		r.Step()
+		if r.ckpt.due(r.step) {
+			r.ckpt.fire(r.step, r.Snapshot)
+		}
 	}
 	return r.result(r.proto.Stable(r.counts))
 }

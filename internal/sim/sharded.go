@@ -104,6 +104,9 @@ type ShardedCountsEngine[S comparable] struct {
 	poolS      []S
 	poolC      []int64
 	poolAlloc  []int64
+
+	// ckpt schedules periodic checkpoints (see SetCheckpoint).
+	ckpt ckptState
 }
 
 // DefaultMigrationRate is the fidelity-mode migration probability: at every
@@ -203,6 +206,7 @@ func (e *ShardedCountsEngine[S]) Reset() {
 	e.sinceMig = 0
 	e.rr = 0
 	e.probes.rebase(0)
+	e.ckpt.rebase(0)
 	e.mergedOK = false
 }
 
@@ -554,6 +558,7 @@ func (e *ShardedCountsEngine[S]) Run() Result {
 	converged := e.proto.Stable(e.aggregateClasses())
 	for !converged && e.step < budget {
 		e.advance(budget - e.step)
+		e.maybeCheckpoint()
 		converged = e.proto.Stable(e.aggregateClasses())
 	}
 	if !e.probes.empty() {
@@ -568,6 +573,7 @@ func (e *ShardedCountsEngine[S]) RunSteps(k uint64) Result {
 	end := e.step + k
 	for e.step < end {
 		e.advance(end - e.step)
+		e.maybeCheckpoint()
 	}
 	return e.result(e.proto.Stable(e.aggregateClasses()))
 }

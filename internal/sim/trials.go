@@ -2,6 +2,8 @@ package sim
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 
@@ -68,6 +70,27 @@ type TrialConfig struct {
 	// ShardEpoch overrides the sharded engine's interactions-per-epoch
 	// (0 = DefaultShardEpoch). Ignored when Shards < 2.
 	ShardEpoch uint64
+
+	// CheckpointEvery > 0 snapshots each trial's engine about every that
+	// many interactions (at the next scheduling-unit boundary; see
+	// Checkpointable.SetCheckpoint) into CheckpointDir, one file per trial
+	// (TrialCheckpointPath), written atomically. Requires CheckpointDir.
+	CheckpointEvery uint64
+
+	// CheckpointDir is the directory holding per-trial checkpoint files.
+	CheckpointDir string
+
+	// Resume restores each trial's engine from its file in CheckpointDir
+	// before running; trials whose file does not exist start fresh, so a
+	// killed sweep resumes with the same config and finishes byte-identically
+	// to an uninterrupted run (the resume-equals-replay law).
+	Resume bool
+}
+
+// TrialCheckpointPath returns the checkpoint file RunTrials uses for one
+// trial index under dir.
+func TrialCheckpointPath(dir string, trial int) string {
+	return filepath.Join(dir, fmt.Sprintf("trial-%d.ckpt", trial))
 }
 
 // TrialProbe attaches one census probe to every trial's engine in
@@ -124,6 +147,14 @@ func RunTrialsProbed[S comparable, P Protocol[S]](factory func(trial int) P, cfg
 			return nil, fmt.Errorf("sim: sharded populations require protocol type %T to implement Enumerable", zero)
 		}
 	}
+	if (cfg.CheckpointEvery > 0 || cfg.Resume) && cfg.CheckpointDir == "" {
+		return nil, fmt.Errorf("sim: checkpointing/resume requires CheckpointDir")
+	}
+	if cfg.CheckpointEvery > 0 {
+		if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
+			return nil, fmt.Errorf("sim: checkpoint dir: %w", err)
+		}
+	}
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -133,6 +164,15 @@ func RunTrialsProbed[S comparable, P Protocol[S]](factory func(trial int) P, cfg
 	}
 	results := make([]Result, cfg.Trials)
 	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
+	recordErr := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
 	jobs := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -149,9 +189,40 @@ func RunTrialsProbed[S comparable, P Protocol[S]](factory func(trial int) P, cfg
 						panic(err) // unreachable: both backends implement ProbeTarget[S]
 					}
 				}
+				var ck Checkpointable
+				if cfg.CheckpointEvery > 0 || cfg.Resume {
+					c, ok := eng.(Checkpointable)
+					if !ok {
+						recordErr(fmt.Errorf("sim: engine %T does not support checkpointing", eng))
+						continue
+					}
+					ck = c
+					path := TrialCheckpointPath(cfg.CheckpointDir, t)
+					if cfg.Resume {
+						data, err := ReadCheckpointFile(path)
+						switch {
+						case err == nil:
+							if err := ck.Restore(data); err != nil {
+								recordErr(fmt.Errorf("sim: trial %d resume from %s: %w", t, path, err))
+								continue
+							}
+						case !os.IsNotExist(err):
+							recordErr(fmt.Errorf("sim: trial %d resume: %w", t, err))
+							continue
+						}
+					}
+					if cfg.CheckpointEvery > 0 {
+						ck.SetCheckpoint(cfg.CheckpointEvery, FileSink(path))
+					}
+				}
 				res := eng.Run()
 				res.Seed = uint64(t)
 				results[t] = res
+				if ck != nil {
+					if err := ck.CheckpointErr(); err != nil {
+						recordErr(fmt.Errorf("sim: trial %d: %w", t, err))
+					}
+				}
 			}
 		}()
 	}
@@ -160,7 +231,7 @@ func RunTrialsProbed[S comparable, P Protocol[S]](factory func(trial int) P, cfg
 	}
 	close(jobs)
 	wg.Wait()
-	return results, nil
+	return results, firstErr
 }
 
 // newTrialEngine builds one trial's engine from the config. The historical

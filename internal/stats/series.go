@@ -50,6 +50,25 @@ func NewSeries(name string, maxPoints int) *Series {
 	return &Series{Name: name, maxPoints: maxPoints, stride: 1}
 }
 
+// SeriesFromPoints rebuilds a series from exported (step, value) points —
+// the inverse of Points, used when rehydrating a series from a result
+// store. The points are replayed through Add, so steps must be
+// nondecreasing; the budget (<= 1 selects DefaultSeriesPoints) should be at
+// least len(steps) if the rebuilt series must export the same points.
+func SeriesFromPoints(name string, maxPoints int, steps []uint64, vals []float64) (*Series, error) {
+	if len(steps) != len(vals) {
+		return nil, fmt.Errorf("stats: %d steps for %d values", len(steps), len(vals))
+	}
+	s := NewSeries(name, maxPoints)
+	for i, step := range steps {
+		if i > 0 && step < steps[i-1] {
+			return nil, fmt.Errorf("stats: steps not nondecreasing at point %d (%d after %d)", i, step, steps[i-1])
+		}
+		s.Add(step, vals[i])
+	}
+	return s, nil
+}
+
 // Add appends a sample. Steps must be nondecreasing; a sample with the
 // same step as the previous one replaces its value instead of appending a
 // duplicate point (probes can fire both at a cadence boundary and once at
@@ -225,23 +244,40 @@ func WriteSeriesCSVFile(path string, series ...*Series) error {
 	return writeFile(path, func(w io.Writer) error { return WriteSeriesCSV(w, series...) })
 }
 
-// writeFile creates path (and its directory) and runs the writer against
-// it, surfacing both write and close errors.
+// writeFile writes path atomically: the writer runs against a temp file in
+// the destination directory (created as needed) which is renamed over path
+// only after a clean close, so readers — and interrupted runs that resume —
+// never observe a partially written artifact. Write and close errors are
+// surfaced; on any failure the temp file is removed and path is untouched.
 func writeFile(path string, write func(io.Writer) error) error {
-	if dir := filepath.Dir(path); dir != "" {
+	dir := filepath.Dir(path)
+	if dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return err
 		}
 	}
-	f, err := os.Create(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	if err := write(f); err != nil {
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := write(f); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // seriesJSON is the export shape of one series.

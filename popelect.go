@@ -28,6 +28,7 @@ package popelect
 
 import (
 	"fmt"
+	"os"
 
 	"popelect/internal/protocols"
 	"popelect/internal/rng"
@@ -121,6 +122,9 @@ type options struct {
 	migration     float64
 	migrationSet  bool
 	timelineEvery uint64
+	ckptPath      string
+	ckptEvery     uint64
+	resumePath    string
 }
 
 // Option configures a run.
@@ -213,6 +217,27 @@ func WithCensusTimeline(interval uint64) Option {
 	return func(o *options) { o.timelineEvery = interval }
 }
 
+// WithCheckpoint snapshots the engine to path about every `every`
+// interactions (at the next scheduling-unit boundary, so checkpointing
+// never perturbs the trajectory; see sim.Checkpointable). The file is
+// written atomically, so a kill mid-write leaves the previous snapshot
+// intact. Combine with WithResume on the same path to make a run
+// restartable; by the resume-equals-replay law the restarted run finishes
+// byte-identically to an uninterrupted one.
+func WithCheckpoint(path string, every uint64) Option {
+	return func(o *options) { o.ckptPath = path; o.ckptEvery = every }
+}
+
+// WithResume restores the engine from the checkpoint file at path before
+// running. A missing file starts the run fresh (the first run of a
+// checkpointed loop has nothing to resume from); any other read, format or
+// configuration mismatch is an error. The run's configuration — protocol,
+// parameters, n, backend, and any WithCensusTimeline cadence — must match
+// the run that wrote the snapshot.
+func WithResume(path string) Option {
+	return func(o *options) { o.resumePath = path }
+}
+
 // Elect runs the paper's protocol on a population of n agents and returns
 // the elected leader. It is deterministic given WithSeed.
 func Elect(n int, opts ...Option) (Result, error) {
@@ -300,9 +325,21 @@ func run(inst protocols.Instance, o options) (Result, error) {
 	if st, ok := eng.(sim.StateTracker); ok {
 		st.SetTrackStates(o.trackStates)
 	}
+	var ck sim.Checkpointable
+	if o.ckptPath != "" || o.resumePath != "" {
+		if o.ckptPath != "" && o.ckptEvery == 0 {
+			return Result{}, fmt.Errorf("popelect: WithCheckpoint needs a positive interval")
+		}
+		c, ok := eng.(sim.Checkpointable)
+		if !ok {
+			return Result{}, fmt.Errorf("popelect: the selected engine (%T) does not support checkpointing", eng)
+		}
+		ck = c
+	}
 	var timeline []CensusPoint
+	var record func(step uint64, v protocols.Census)
 	if o.timelineEvery > 0 {
-		record := func(step uint64, v protocols.Census) {
+		record = func(step uint64, v protocols.Census) {
 			if len(timeline) > 0 && timeline[len(timeline)-1].Step == step {
 				return // run ended exactly on a sample boundary
 			}
@@ -311,13 +348,37 @@ func run(inst protocols.Instance, o options) (Result, error) {
 		if err := inst.AddProbe(eng, record, o.timelineEvery); err != nil {
 			return Result{}, fmt.Errorf("popelect: %w", err)
 		}
+	}
+	// Restore after probes are registered (the snapshot's probe schedules
+	// must match the engine's probe set) and before the timeline's initial
+	// sample, which records the restored census at the restored step.
+	if o.resumePath != "" {
+		data, err := sim.ReadCheckpointFile(o.resumePath)
+		switch {
+		case err == nil:
+			if err := ck.Restore(data); err != nil {
+				return Result{}, fmt.Errorf("popelect: resume from %s: %w", o.resumePath, err)
+			}
+		case !os.IsNotExist(err):
+			return Result{}, fmt.Errorf("popelect: resume: %w", err)
+		}
+	}
+	if o.ckptPath != "" {
+		ck.SetCheckpoint(o.ckptEvery, sim.FileSink(o.ckptPath))
+	}
+	if record != nil {
 		cv, err := inst.CensusOf(eng)
 		if err != nil {
 			return Result{}, fmt.Errorf("popelect: %w", err)
 		}
-		record(0, cv)
+		record(eng.Steps(), cv)
 	}
 	res := eng.Run()
+	if ck != nil {
+		if err := ck.CheckpointErr(); err != nil {
+			return Result{}, fmt.Errorf("popelect: %w", err)
+		}
+	}
 	if !res.Converged {
 		return Result{}, fmt.Errorf("popelect: %s did not stabilize within %d interactions",
 			inst.Name(), res.Interactions)

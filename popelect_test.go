@@ -1,6 +1,8 @@
 package popelect
 
 import (
+	"os"
+	"path/filepath"
 	"reflect"
 	"testing"
 )
@@ -223,5 +225,73 @@ func TestElectWithBatchPolicy(t *testing.T) {
 	// The dense backend ignores batch policies rather than erroring.
 	if _, err := Elect(512, WithSeed(1), WithBatchPolicy("adaptive")); err != nil {
 		t.Fatalf("dense backend must ignore batch policies: %v", err)
+	}
+}
+
+// TestElectCheckpointResume exercises the facade's checkpoint/resume
+// options end to end on both backends: a checkpointed run matches a plain
+// one, and resuming from the written file reproduces it exactly (the
+// resume-equals-replay law, here at the API surface).
+func TestElectCheckpointResume(t *testing.T) {
+	for _, backend := range []string{"dense", "counts"} {
+		path := filepath.Join(t.TempDir(), "run.ckpt")
+		opts := func(extra ...Option) []Option {
+			return append([]Option{WithSeed(11), WithBackend(backend)}, extra...)
+		}
+		plain, err := ElectWith(GS18, 2048, opts()...)
+		if err != nil {
+			t.Fatalf("%s plain: %v", backend, err)
+		}
+		ckpt, err := ElectWith(GS18, 2048, opts(WithCheckpoint(path, 2048))...)
+		if err != nil {
+			t.Fatalf("%s checkpointed: %v", backend, err)
+		}
+		if !reflect.DeepEqual(plain, ckpt) {
+			t.Fatalf("%s: checkpointing perturbed the run:\nplain %+v\nckpt  %+v", backend, plain, ckpt)
+		}
+		if _, err := os.Stat(path); err != nil {
+			t.Fatalf("%s: no checkpoint file: %v", backend, err)
+		}
+		// Resuming from the written snapshot (taken at some mid-run
+		// boundary or later) must land on the identical outcome.
+		resumed, err := ElectWith(GS18, 2048, opts(WithResume(path))...)
+		if err != nil {
+			t.Fatalf("%s resumed: %v", backend, err)
+		}
+		if !reflect.DeepEqual(plain, resumed) {
+			t.Fatalf("%s: resume diverged:\nplain   %+v\nresumed %+v", backend, plain, resumed)
+		}
+	}
+}
+
+// TestElectResumeMissingFileStartsFresh pins the first-run-of-a-loop
+// semantics: WithResume on a nonexistent path is not an error.
+func TestElectResumeMissingFileStartsFresh(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "none.ckpt")
+	plain, err := Elect(1024, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Elect(1024, WithSeed(3), WithResume(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, res) {
+		t.Fatalf("fresh start under WithResume diverged: %+v vs %+v", plain, res)
+	}
+}
+
+// TestElectCheckpointValidation pins the option-misuse errors.
+func TestElectCheckpointValidation(t *testing.T) {
+	if _, err := Elect(512, WithCheckpoint(filepath.Join(t.TempDir(), "x.ckpt"), 0)); err == nil {
+		t.Fatal("WithCheckpoint with a zero interval must error")
+	}
+	// A corrupted checkpoint is an error, not a silent fresh start.
+	path := filepath.Join(t.TempDir(), "junk.ckpt")
+	if err := os.WriteFile(path, []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Elect(512, WithResume(path)); err == nil {
+		t.Fatal("resume from a corrupt file must error")
 	}
 }
