@@ -55,6 +55,9 @@ func main() {
 		verbose   = flag.Bool("v", false, "print a census timeline (gsu19 only; forces the dense backend)")
 		probe     = flag.Uint64("probe-interval", 0, "record a census sample (leaders, occupied states) every N interactions; works on every backend")
 		series    = flag.String("series", "", "write the recorded census timeline as CSV to this path (requires -probe-interval)")
+		churn     = flag.String("churn", "", "population churn spec: RATE or LEAVE:JOIN per-interaction rates, optional @UNTIL step (e.g. 2.5e-3:8.3e-4@3e6)")
+		corrupt   = flag.String("corrupt", "", "state corruption spec: K@STEP scrambles K uniformly chosen agents once at STEP, or RATE[@UNTIL] scrambles continuously")
+		bias      = flag.String("bias", "", "scheduler bias spec: CLASS=WEIGHT,... non-uniform interaction weights per census class (dense/counts only)")
 		ckpt      = flag.String("checkpoint", "", "snapshot the engine to this file (atomically) about every -checkpoint-every interactions; trials > 1 append a .trialT suffix")
 		ckptEvery = flag.Uint64("checkpoint-every", 0, "checkpoint cadence in interactions (0 with -checkpoint = n)")
 		resume    = flag.Bool("resume", false, "restore from the -checkpoint file before running; a missing file starts fresh, so a killed run can be relaunched with the same command line and finishes byte-identically")
@@ -75,6 +78,10 @@ func main() {
 		os.Exit(2)
 	}
 	if _, err := sim.ParseBatchPolicy(*batch); err != nil {
+		fmt.Fprintln(os.Stderr, "leaderelect:", err)
+		os.Exit(2)
+	}
+	if _, err := sim.ParsePerturbations(*churn, *corrupt, *bias); err != nil {
 		fmt.Fprintln(os.Stderr, "leaderelect:", err)
 		os.Exit(2)
 	}
@@ -143,6 +150,9 @@ func main() {
 		}
 		if *probe > 0 {
 			opts = append(opts, popelect.WithCensusTimeline(*probe))
+		}
+		if *churn != "" || *corrupt != "" || *bias != "" {
+			opts = append(opts, popelect.WithScenario(*churn, *corrupt, *bias))
 		}
 		if *ckpt != "" {
 			path := *ckpt

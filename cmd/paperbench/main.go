@@ -44,11 +44,14 @@ func main() {
 		batchEps  = flag.Float64("batch-eps", 0, "adaptive batch controller drift bound ε (0 = default)")
 		gamma     = flag.Int("gamma", 0, "phase-clock resolution Γ override for every clock-carrying protocol (0 = derived Γ(n))")
 		probe     = flag.Uint64("probe-interval", 0, "census-probe cadence for trajectory experiments, in interactions (0 = per-experiment default)")
-		sdir      = flag.String("series-dir", "", "directory where recording experiments (scalefigures, biassweep, clockspan, parscale, shardscale) write CSV files (empty = no files)")
+		sdir      = flag.String("series-dir", "", "directory where recording experiments (scalefigures, biassweep, clockspan, parscale, shardscale, resilience) write CSV files (empty = no files)")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "worker bound: concurrent trials, and sampling shards inside each counts engine (single-engine scale experiments)")
 		shards    = flag.Int("shards", 0, "run engine-building experiments (scale) on K concurrently-advanced sub-censuses with epoch migration (≤1 = single census; shardscale sweeps its own K grid)")
 		migration = flag.Float64("migration", -1, "sharded per-agent per-epoch migration probability λ (-1 = fidelity default, 0 = isolated shards; needs -shards ≥ 2)")
 		reps      = flag.Int("reps", 1, "timing repetitions per cell in throughput experiments (parscale): mean ± sd over reps")
+		churn     = flag.String("churn", "", "population churn spec for trial-based experiments: RATE or LEAVE:JOIN per-interaction rates, optional @UNTIL step (resilience sweeps its own scenario grid)")
+		corrupt   = flag.String("corrupt", "", "state corruption spec: K@STEP one-shot scramble, or RATE[@UNTIL]")
+		bias      = flag.String("bias", "", "scheduler bias spec: CLASS=WEIGHT,... per census class (dense/counts only)")
 		storeDir  = flag.String("store", "", "content-addressed result store directory: trial batches already computed under the same key are reused instead of re-simulated")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
@@ -114,6 +117,12 @@ func main() {
 		cfg.Migration = -1
 	}
 	cfg.Reps = *reps
+	perturb, err := sim.ParsePerturbations(*churn, *corrupt, *bias)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(2)
+	}
+	cfg.Perturb = perturb
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir)
 		if err != nil {

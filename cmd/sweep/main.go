@@ -45,6 +45,9 @@ func main() {
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "worker bound: concurrent trials, and sampling shards inside each counts engine")
 		shards    = flag.Int("shards", 0, "run each trial on K concurrently-advanced sub-censuses with epoch migration (≤1 = single census)")
 		migration = flag.Float64("migration", -1, "sharded per-agent per-epoch migration probability λ (-1 = fidelity default, 0 = isolated shards; requires -shards ≥ 2)")
+		churn     = flag.String("churn", "", "population churn spec: RATE or LEAVE:JOIN per-interaction rates, optional @UNTIL step")
+		corrupt   = flag.String("corrupt", "", "state corruption spec: K@STEP one-shot scramble, or RATE[@UNTIL]")
+		bias      = flag.String("bias", "", "scheduler bias spec: CLASS=WEIGHT,... per census class (dense/counts only)")
 		storeDir  = flag.String("store", "", "content-addressed result store directory: sweep cells already computed under the same key (parameters, n, trials, seed, backend, policy) are reused instead of re-simulated")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
@@ -87,6 +90,11 @@ func main() {
 		tcMigration = *migration
 	case *migration == 0:
 		tcMigration = -1
+	}
+	perturb, err := sim.ParsePerturbations(*churn, *corrupt, *bias)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(2)
 	}
 	var st *store.Store
 	if *storeDir != "" {
@@ -162,10 +170,16 @@ func main() {
 		// trajectories and their observation. A hit substitutes stored
 		// results (and, when trajectories are requested, stored per-trial
 		// series) for the simulation.
+		extra := fmt.Sprintf("%s=%d", *what, v)
+		if perturb != nil {
+			// The perturbation changes the trajectory law, so its full
+			// fingerprint is part of the cache identity.
+			extra += ";" + perturb.Fingerprint()
+		}
 		resKey := store.Key{Kind: "sweep", Protocol: "gsu19", N: *n, Trials: *trials,
 			Seed: *seed + uint64(v), Backend: string(be), Batch: bp.String(),
 			Workers: *workers, Shards: *shards, Migration: tcMigration,
-			Gamma: *gamma, Extra: fmt.Sprintf("%s=%d", *what, v)}
+			Gamma: *gamma, Extra: extra}
 		serKey := resKey
 		serKey.Kind = "sweep-series"
 		serKey.ProbeEvery = every
@@ -195,7 +209,7 @@ func main() {
 			rs, err = sim.RunTrialsProbed[core.State, *core.Protocol](func(int) *core.Protocol { return pr },
 				sim.TrialConfig{Trials: *trials, Seed: *seed + uint64(v), Backend: be, Batch: bp,
 					Workers: *workers, EngineWorkers: *workers,
-					Shards: *shards, Migration: tcMigration}, probes...)
+					Shards: *shards, Migration: tcMigration, Perturb: perturb}, probes...)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "sweep:", err)
 				os.Exit(1)

@@ -70,6 +70,13 @@ type Config struct {
 	// shardscale, which sweeps its own λ grid). Exposed as -migration.
 	Migration float64
 
+	// Perturb attaches a perturbation (churn, corruption, scheduler bias)
+	// to every trial engine the trial-based experiments build — the
+	// sim.TrialConfig.Perturb plumbing; cmd/paperbench wires it from
+	// -churn/-corrupt/-bias. Experiments that sweep their own scenario
+	// axes (resilience, shardscale) ignore it. Nil runs unperturbed.
+	Perturb sim.Perturbation
+
 	// Reps is the number of timing repetitions per measurement cell in
 	// throughput experiments (parscale): each cell re-times its slab Reps
 	// times and reports mean ± sd. 0 or 1 = a single rep.
@@ -234,6 +241,7 @@ func All() []struct {
 		{"clockspan", ClockSpan},
 		{"parscale", ParScale},
 		{"shardscale", ShardScale},
+		{"resilience", Resilience},
 	}
 }
 
@@ -254,6 +262,12 @@ func Lookup(id string) (Runner, bool) {
 // engine-internal fan-out is not (different widths consume randomness in
 // different orders).
 func trialKey(cfg Config, kind, protocol string, n int, tc sim.TrialConfig) store.Key {
+	extra := fmt.Sprintf("track=%t,batchlen=%d", tc.TrackStates, tc.BatchLen)
+	if tc.Perturb != nil {
+		// Perturbations change the trajectory law, so the full fingerprint
+		// is part of the cache identity.
+		extra += ",pert=" + tc.Perturb.Fingerprint()
+	}
 	return store.Key{
 		Kind:       kind,
 		Protocol:   protocol,
@@ -268,7 +282,7 @@ func trialKey(cfg Config, kind, protocol string, n int, tc sim.TrialConfig) stor
 		Migration:  tc.Migration,
 		ShardEpoch: tc.ShardEpoch,
 		Gamma:      cfg.Gamma,
-		Extra:      fmt.Sprintf("track=%t,batchlen=%d", tc.TrackStates, tc.BatchLen),
+		Extra:      extra,
 	}
 }
 

@@ -25,7 +25,7 @@ func Figure1(cfg Config) []*Table {
 	cums := make([][]int, cfg.Trials)
 	rs := mustRun(sim.RunTrialsProbed[core.State, *core.Protocol](
 		func(int) *core.Protocol { return pr },
-		sim.TrialConfig{Trials: cfg.Trials, Seed: cfg.Seed, Workers: cfg.Workers, EngineWorkers: cfg.EngineWorkers, Backend: cfg.Backend, Batch: cfg.Batch},
+		sim.TrialConfig{Trials: cfg.Trials, Seed: cfg.Seed, Workers: cfg.Workers, EngineWorkers: cfg.EngineWorkers, Backend: cfg.Backend, Batch: cfg.Batch, Perturb: cfg.Perturb},
 		sim.TrialProbe[core.State]{Make: func(trial int) sim.Probe[core.State] {
 			return func(step uint64, v sim.CensusView[core.State]) {
 				cums[trial] = pr.CumulativeCoinCensusOf(v.VisitStates)

@@ -74,7 +74,7 @@ func Lemma53(cfg Config) []*Table {
 		juntaAt := make([]float64, cfg.Trials)
 		rs := mustRun(sim.RunTrialsProbed[core.State, *core.Protocol](
 			func(int) *core.Protocol { return pr },
-			sim.TrialConfig{Trials: cfg.Trials, Seed: cfg.Seed + 2, Workers: cfg.Workers, EngineWorkers: cfg.EngineWorkers, Backend: cfg.Backend, Batch: cfg.Batch},
+			sim.TrialConfig{Trials: cfg.Trials, Seed: cfg.Seed + 2, Workers: cfg.Workers, EngineWorkers: cfg.EngineWorkers, Backend: cfg.Backend, Batch: cfg.Batch, Perturb: cfg.Perturb},
 			sim.TrialProbe[core.State]{Make: func(trial int) sim.Probe[core.State] {
 				return func(step uint64, v sim.CensusView[core.State]) {
 					juntaAt[trial] = float64(pr.JuntaSizeOf(v.VisitStates))
@@ -114,7 +114,7 @@ func Lemma71(cfg Config) []*Table {
 	censusAt := make([][]int, cfg.Trials)
 	rs := mustRun(sim.RunTrialsProbed[core.State, *core.Protocol](
 		func(int) *core.Protocol { return pr },
-		sim.TrialConfig{Trials: cfg.Trials, Seed: cfg.Seed + 3, Workers: cfg.Workers, EngineWorkers: cfg.EngineWorkers, Backend: cfg.Backend, Batch: cfg.Batch},
+		sim.TrialConfig{Trials: cfg.Trials, Seed: cfg.Seed + 3, Workers: cfg.Workers, EngineWorkers: cfg.EngineWorkers, Backend: cfg.Backend, Batch: cfg.Batch, Perturb: cfg.Perturb},
 		sim.TrialProbe[core.State]{Make: func(trial int) sim.Probe[core.State] {
 			return func(step uint64, v sim.CensusView[core.State]) {
 				censusAt[trial] = pr.InhibDragCensusOf(v.VisitStates)

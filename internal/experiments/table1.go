@@ -92,6 +92,7 @@ func runTable1Cell(cfg Config, e protocols.Entry, n int) ([]sim.Result, error) {
 		Trials: cfg.Trials, Seed: cfg.Seed + uint64(n), Workers: cfg.Workers, EngineWorkers: cfg.EngineWorkers,
 		Backend:     cfg.Backend,
 		Batch:       cfg.Batch,
+		Perturb:     cfg.Perturb,
 		TrackStates: true,
 	}
 	// A counts request degrades to auto for protocols without a

@@ -81,7 +81,7 @@ func Theorem82(cfg Config) []*Table {
 	for _, n := range cfg.Sizes {
 		pr := core.MustNew(coreParams(cfg, n))
 		rs := mustRun(cachedTrials[core.State, *core.Protocol](cfg, "thm82", "gsu19", n, func(int) *core.Protocol { return pr },
-			sim.TrialConfig{Trials: cfg.Trials, Seed: cfg.Seed + 6 + uint64(n), Workers: cfg.Workers, EngineWorkers: cfg.EngineWorkers, Backend: cfg.Backend, Batch: cfg.Batch}))
+			sim.TrialConfig{Trials: cfg.Trials, Seed: cfg.Seed + 6 + uint64(n), Workers: cfg.Workers, EngineWorkers: cfg.EngineWorkers, Backend: cfg.Backend, Batch: cfg.Batch, Perturb: cfg.Perturb}))
 		ok := 0
 		for _, res := range rs {
 			if res.Converged && res.Leaders == 1 {
@@ -128,7 +128,7 @@ func Epidemic(cfg Config) []*Table {
 			continue
 		}
 		rs := mustRun(cachedTrials[uint32, *epidemic.Protocol](cfg, "epidemic", "epidemic", n, func(int) *epidemic.Protocol { return p },
-			sim.TrialConfig{Trials: cfg.Trials, Seed: cfg.Seed + 7, Workers: cfg.Workers, EngineWorkers: cfg.EngineWorkers, Backend: cfg.Backend, Batch: cfg.Batch}))
+			sim.TrialConfig{Trials: cfg.Trials, Seed: cfg.Seed + 7, Workers: cfg.Workers, EngineWorkers: cfg.EngineWorkers, Backend: cfg.Backend, Batch: cfg.Batch, Perturb: cfg.Perturb}))
 		if !sim.AllConverged(rs) {
 			continue
 		}
@@ -173,7 +173,7 @@ func Ablation(cfg Config) []*Table {
 			v.mutate(&params)
 			pr := core.MustNew(params)
 			rs := mustRun(cachedTrials[core.State, *core.Protocol](cfg, "ablation", "gsu19/"+v.name, n, func(int) *core.Protocol { return pr },
-				sim.TrialConfig{Trials: cfg.Trials, Seed: cfg.Seed + 8 + uint64(n), Workers: cfg.Workers, EngineWorkers: cfg.EngineWorkers, Backend: cfg.Backend, Batch: cfg.Batch}))
+				sim.TrialConfig{Trials: cfg.Trials, Seed: cfg.Seed + 8 + uint64(n), Workers: cfg.Workers, EngineWorkers: cfg.EngineWorkers, Backend: cfg.Backend, Batch: cfg.Batch, Perturb: cfg.Perturb}))
 			if !sim.AllConverged(rs) {
 				t.AddRow(v.name, d(n), "timeout in "+d(len(rs)-sim.ConvergedCount(rs))+" trials", "—", "—", "—")
 				continue

@@ -62,6 +62,17 @@ func DefaultGamma(n int) int {
 	return g
 }
 
+// GammaFor returns the resolution Γ(liveN) a run sized for the current
+// live population would derive — the churn-aware counterpart of
+// DefaultGamma. A protocol instance freezes its Γ at construction from the
+// initial n₀; under population churn the live n drifts away, and the gap
+// between the frozen Γ(n₀) and GammaFor(liveN) measures how far the clock
+// is from the resolution the derivation rule would pick now. A shrinking
+// population keeps a too-large (harmless) clock; a growing one tears once
+// the Θ(log n) phase spread crosses the frozen wrap window Γ(n₀)/2 — the
+// resilience experiment records both values side by side.
+func GammaFor(liveN int) int { return DefaultGamma(liveN) }
+
 // Validate checks that gamma is a usable clock resolution: at least 4 (so
 // that both halves and the wrap window are non-trivial), even (so the
 // early/late halves are equal), and at most MaxGamma (so phases fit the

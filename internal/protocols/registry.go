@@ -13,6 +13,7 @@ import (
 	"popelect/internal/protocols/gs18"
 	"popelect/internal/protocols/lottery"
 	"popelect/internal/protocols/slow"
+	"popelect/internal/protocols/sudo19"
 )
 
 // Overrides carries the cross-protocol parameter overrides every entry
@@ -143,6 +144,21 @@ var registry = []Entry{
 			p := lottery.DefaultParams(n)
 			applyGamma(&p.Gamma, o)
 			pr, err := lottery.New(p)
+			if err != nil {
+				return nil, err
+			}
+			return wrap[uint32](pr, wordID), nil
+		},
+	},
+	{
+		Name:        "sudo19",
+		Display:     "sudo19 [SOIKM19-style]",
+		Summary:     "clockless logarithmic-time leader election: geometric levels, timer-driven frontier raising, max-level epidemic",
+		PaperStates: "O(log n)",
+		PaperTime:   "O(log n) exp.",
+		Elects:      true,
+		New: func(n int, _ Overrides) (Instance, error) {
+			pr, err := sudo19.New(sudo19.DefaultParams(n))
 			if err != nil {
 				return nil, err
 			}

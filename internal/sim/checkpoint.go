@@ -30,8 +30,12 @@ import (
 // trajectory-neutral, are clamped to the cadence instead).
 
 // CheckpointVersion is the snapshot format version. Restore rejects
-// snapshots written by any other version.
-const CheckpointVersion = 1
+// snapshots written by any other version. Version 2 added the live
+// population size and the perturbation section to every payload (the
+// scenario layer: n becomes time-varying under churn, and perturbed
+// resumes need the perturbation stream position and boundary cursor);
+// the envelope's population field holds the initial n₀.
+const CheckpointVersion = 2
 
 // ckptMagic is the snapshot file format tag.
 const ckptMagic = "POPCKPT\x00"
@@ -401,6 +405,11 @@ func (e *CountsEngine[S]) countsSnapshot() ([]byte, error) {
 		e.enumIdx = enumIndex[S](e.proto)
 	}
 	var w ckptEnc
+	// Live population first (it differs from the envelope's n₀ under
+	// churn — including for the unperturbed sub-censuses of a perturbed
+	// sharded engine), then the perturbation section.
+	w.u64(uint64(e.n))
+	e.pert.encode(&w)
 	w.bytes(e.src.State())
 	w.u64(e.step)
 	w.u64(e.adaptLen)
@@ -454,11 +463,16 @@ func (e *CountsEngine[S]) Snapshot() ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return sealCheckpoint(ckptKindCounts, e.proto.Name(), uint64(e.n), payload), nil
+	return sealCheckpoint(ckptKindCounts, e.proto.Name(), uint64(e.n0), payload), nil
 }
 
 func (e *CountsEngine[S]) countsRestore(payload []byte) error {
 	r := ckptDec{buf: payload}
+	liveN := int(r.u64())
+	if r.err == nil && liveN < 2 {
+		return fmt.Errorf("sim: checkpoint live population %d < 2", liveN)
+	}
+	pc := decodePert(&r)
 	srcState := r.bytes()
 	step := r.u64()
 	adaptLen := r.u64()
@@ -513,8 +527,8 @@ func (e *CountsEngine[S]) countsRestore(payload []byte) error {
 		}
 		total += pop[id]
 	}
-	if r.err == nil && total != int64(e.n) {
-		return fmt.Errorf("sim: checkpoint census sums to %d agents, want %d", total, e.n)
+	if r.err == nil && total != int64(liveN) {
+		return fmt.Errorf("sim: checkpoint census sums to %d agents, live population is %d", total, liveN)
 	}
 	na := int(r.u32())
 	if r.err != nil || na > m {
@@ -584,6 +598,9 @@ func (e *CountsEngine[S]) countsRestore(payload []byte) error {
 	if r.off != len(r.buf) {
 		return fmt.Errorf("sim: checkpoint corrupted: %d trailing payload bytes", len(r.buf)-r.off)
 	}
+	if err := e.pert.restore(pc); err != nil {
+		return err
+	}
 	if err := e.src.SetState(srcState); err != nil {
 		return fmt.Errorf("sim: checkpoint PRNG state: %w", err)
 	}
@@ -592,6 +609,7 @@ func (e *CountsEngine[S]) countsRestore(payload []byte) error {
 	}
 
 	// Commit: rebuild every derived structure from the restored census.
+	e.n = liveN
 	e.states = states
 	e.index = index
 	e.classOf = e.classOf[:0]
@@ -644,7 +662,7 @@ func (e *CountsEngine[S]) countsRestore(payload []byte) error {
 
 // Restore implements Checkpointable.
 func (e *CountsEngine[S]) Restore(snapshot []byte) error {
-	payload, err := openCheckpoint(snapshot, ckptKindCounts, e.proto.Name(), uint64(e.n))
+	payload, err := openCheckpoint(snapshot, ckptKindCounts, e.proto.Name(), uint64(e.n0))
 	if err != nil {
 		return err
 	}
@@ -689,6 +707,11 @@ func (r *Runner[S, P]) Snapshot() ([]byte, error) {
 		r.enumIdx = enumIndex[S](en)
 	}
 	var w ckptEnc
+	// Live population first (the pop block below has exactly this many
+	// entries; it differs from the envelope's n₀ under churn), then the
+	// perturbation section.
+	w.u64(uint64(r.n))
+	r.pert.encode(&w)
 	w.bytes(src.State())
 	w.u64(r.step)
 	w.boolean(r.TrackStates)
@@ -716,7 +739,7 @@ func (r *Runner[S, P]) Snapshot() ([]byte, error) {
 		}
 	}
 	encodeSchedules(&w, r.probes.schedules())
-	return sealCheckpoint(ckptKindDense, r.proto.Name(), uint64(r.n), w.buf), nil
+	return sealCheckpoint(ckptKindDense, r.proto.Name(), uint64(r.n0), w.buf), nil
 }
 
 // Restore implements Checkpointable.
@@ -725,19 +748,24 @@ func (r *Runner[S, P]) Restore(snapshot []byte) error {
 	if err != nil {
 		return err
 	}
-	payload, err := openCheckpoint(snapshot, ckptKindDense, r.proto.Name(), uint64(r.n))
+	payload, err := openCheckpoint(snapshot, ckptKindDense, r.proto.Name(), uint64(r.n0))
 	if err != nil {
 		return err
 	}
 	all := en.States()
 	d := ckptDec{buf: payload}
+	liveN := int(d.u64())
+	if d.err == nil && (liveN < 2 || liveN > len(payload)) {
+		return fmt.Errorf("sim: checkpoint live population %d invalid", liveN)
+	}
+	pc := decodePert(&d)
 	srcState := d.bytes()
 	step := d.u64()
 	track := d.boolean()
 	if d.err == nil && track != r.TrackStates {
 		return fmt.Errorf("sim: checkpoint TrackStates=%v, engine has %v", track, r.TrackStates)
 	}
-	pop := make([]S, r.n)
+	pop := make([]S, liveN)
 	for i := range pop {
 		ei := int(d.u32())
 		if d.err != nil {
@@ -773,12 +801,16 @@ func (r *Runner[S, P]) Restore(snapshot []byte) error {
 	if d.off != len(d.buf) {
 		return fmt.Errorf("sim: checkpoint corrupted: %d trailing payload bytes", len(d.buf)-d.off)
 	}
+	if err := r.pert.restore(pc); err != nil {
+		return err
+	}
 	if err := src.SetState(srcState); err != nil {
 		return fmt.Errorf("sim: checkpoint PRNG state: %w", err)
 	}
 	if err := r.probes.restoreSchedules(scheds); err != nil {
 		return err
 	}
+	r.n = liveN
 	r.pop = pop
 	for i := range r.counts {
 		r.counts[i] = 0
@@ -814,6 +846,10 @@ func (r *Runner[S, P]) CheckpointErr() error { return r.ckpt.err }
 // migration positions, and one nested counts snapshot per shard.
 func (e *ShardedCountsEngine[S]) Snapshot() ([]byte, error) {
 	var w ckptEnc
+	// Live population first (shard sizes stop being invariant under
+	// churn), then the perturbation section.
+	w.u64(uint64(e.n))
+	e.pert.encode(&w)
 	w.bytes(e.src.State())
 	w.u64(e.step)
 	w.u64(e.sinceMig)
@@ -831,16 +867,21 @@ func (e *ShardedCountsEngine[S]) Snapshot() ([]byte, error) {
 		w.bytes(subSnap)
 	}
 	encodeSchedules(&w, e.probes.schedules())
-	return sealCheckpoint(ckptKindSharded, e.proto.Name(), uint64(e.n), w.buf), nil
+	return sealCheckpoint(ckptKindSharded, e.proto.Name(), uint64(e.n0), w.buf), nil
 }
 
 // Restore implements Checkpointable.
 func (e *ShardedCountsEngine[S]) Restore(snapshot []byte) error {
-	payload, err := openCheckpoint(snapshot, ckptKindSharded, e.proto.Name(), uint64(e.n))
+	payload, err := openCheckpoint(snapshot, ckptKindSharded, e.proto.Name(), uint64(e.n0))
 	if err != nil {
 		return err
 	}
 	d := ckptDec{buf: payload}
+	liveN := int(d.u64())
+	if d.err == nil && liveN < 2 {
+		return fmt.Errorf("sim: checkpoint live population %d invalid", liveN)
+	}
+	pc := decodePert(&d)
 	srcState := d.bytes()
 	step := d.u64()
 	sinceMig := d.u64()
@@ -863,12 +904,25 @@ func (e *ShardedCountsEngine[S]) Restore(snapshot []byte) error {
 		return fmt.Errorf("sim: checkpoint corrupted: %w", d.err)
 	}
 	subSnaps := make([][]byte, k)
+	sizes := make([]int64, k)
+	var sizeSum int64
 	for i := 0; i < k; i++ {
 		size := d.i64()
-		if d.err == nil && size != e.sizes[i] {
+		if pc.has {
+			// Shard sizes drift under churn: adopt the snapshot's, with
+			// the same floor the perturbation targets maintain.
+			if d.err == nil && size < 2 {
+				return fmt.Errorf("sim: checkpoint shard %d has %d agents", i, size)
+			}
+		} else if d.err == nil && size != e.sizes[i] {
 			return fmt.Errorf("sim: checkpoint shard %d has %d agents, engine shard has %d", i, size, e.sizes[i])
 		}
+		sizes[i] = size
+		sizeSum += size
 		subSnaps[i] = d.bytes()
+	}
+	if d.err == nil && sizeSum != int64(liveN) {
+		return fmt.Errorf("sim: checkpoint shard sizes sum to %d agents, live population is %d", sizeSum, liveN)
 	}
 	scheds := decodeSchedules(&d)
 	if d.err != nil {
@@ -876,6 +930,9 @@ func (e *ShardedCountsEngine[S]) Restore(snapshot []byte) error {
 	}
 	if d.off != len(d.buf) {
 		return fmt.Errorf("sim: checkpoint corrupted: %d trailing payload bytes", len(d.buf)-d.off)
+	}
+	if err := e.pert.restore(pc); err != nil {
+		return err
 	}
 	if err := e.src.SetState(srcState); err != nil {
 		return fmt.Errorf("sim: checkpoint PRNG state: %w", err)
@@ -887,7 +944,12 @@ func (e *ShardedCountsEngine[S]) Restore(snapshot []byte) error {
 		if err := sub.Restore(subSnaps[i]); err != nil {
 			return fmt.Errorf("sim: shard %d: %w", i, err)
 		}
+		if int64(sub.n) != sizes[i] {
+			return fmt.Errorf("sim: shard %d restored %d live agents, size field says %d", i, sub.n, sizes[i])
+		}
 	}
+	e.n = liveN
+	copy(e.sizes, sizes)
 	e.step = step
 	e.sinceMig = sinceMig
 	e.rr = rr

@@ -49,7 +49,9 @@ import (
 type CountsEngine[S comparable] struct {
 	proto Enumerable[S]
 	src   *rng.Source
-	n     int
+	// n is the live population size; n0 the initial size. They differ only
+	// under churn perturbations.
+	n, n0 int
 
 	// MaxInteractions bounds Run; 0 means DefaultBudget(n).
 	MaxInteractions uint64
@@ -157,6 +159,16 @@ type CountsEngine[S comparable] struct {
 	// the lazily built state → States()-index map of the snapshot codec.
 	ckpt    ckptState
 	enumIdx map[S]int32
+
+	// pert is the attached scenario perturbation (see SetPerturbation),
+	// applied at batch and exact-chunk boundaries — the counts backend's
+	// scheduling units. pertTgt is the cached census-mutation adapter,
+	// enumStates the lazily built state enumeration for scrambles, and
+	// biasW the biased batch path's per-batch alias weight scratch.
+	pert       pertState
+	pertTgt    PerturbTarget
+	enumStates []S
+	biasW      []float64
 }
 
 // ExactMaxN is the population size below which the counts backend defaults
@@ -177,7 +189,7 @@ func NewCountsEngine[S comparable](proto Enumerable[S], src *rng.Source) *Counts
 	if n < 2 {
 		panic(fmt.Sprintf("sim: population size %d < 2", n))
 	}
-	e := &CountsEngine[S]{proto: proto, src: src, n: n}
+	e := &CountsEngine[S]{proto: proto, src: src, n: n, n0: n}
 	e.stateBound = len(proto.States())
 	if e.stateBound < 1 {
 		e.stateBound = 1
@@ -213,6 +225,8 @@ func (e *CountsEngine[S]) Reset() {
 	e.leaders = 0
 	e.step = 0
 	e.effWorkers = 0
+	e.n = e.n0
+	e.pert.prev = 0
 	for i := 0; i < e.n; i++ {
 		id := e.indexOf(e.proto.Init(i))
 		e.pop[id]++
@@ -442,6 +456,9 @@ func (e *CountsEngine[S]) bump(id int32, d int64) {
 // so "a distinct initiator" is a redraw of the responder's unit index —
 // cheaper than temporarily removing the responder from the prefix tree.
 func (e *CountsEngine[S]) Step() bool {
+	if e.pert.bias != nil {
+		return e.stepBiased()
+	}
 	u1 := e.src.Uintn(uint64(e.n))
 	a := e.fen.find(u1)
 	u2 := e.src.Uintn(uint64(e.n))
@@ -460,6 +477,44 @@ func (e *CountsEngine[S]) Step() bool {
 		e.fireProbes()
 	}
 	return changed
+}
+
+// stepBiased is Step under a bias perturbation: each role's census unit
+// is proposed uniformly and accepted proportionally to its state's class
+// weight — the counts-backend mirror of the dense runner's biasedPair.
+// With all-equal weights the acceptance test short-circuits and both law
+// and randomness consumption degenerate to the uniform Step exactly.
+func (e *CountsEngine[S]) stepBiased() bool {
+	u1, a := e.biasedUnit(math.MaxUint64)
+	_, b := e.biasedUnit(u1)
+	e.step++
+	a2, b2 := e.deltaIDs(a, b)
+	changed := a2 != a || b2 != b
+	if changed {
+		e.moveOne(a, a2)
+		e.moveOne(b, b2)
+	}
+	if e.probes.due(e.step) {
+		e.fireProbes()
+	}
+	return changed
+}
+
+// biasedUnit draws one census unit (an implicit agent index) under the
+// bias, excluding a previously drawn unit, and returns it with its state
+// id.
+func (e *CountsEngine[S]) biasedUnit(exclude uint64) (uint64, int32) {
+	for {
+		u := e.src.Uintn(uint64(e.n))
+		if u == exclude {
+			continue
+		}
+		id := e.fen.find(u)
+		w := e.pert.bias[e.classOf[id]]
+		if w == e.pert.biasMax || e.src.Float64()*e.pert.biasMax < w {
+			return u, id
+		}
+	}
 }
 
 // moveOne transfers one agent between states, skipping identity moves.
@@ -566,14 +621,20 @@ func (e *CountsEngine[S]) nextAdvance(remaining uint64) (uint64, bool) {
 		// checkpoint cadence (splitting a pure Step loop is trajectory-
 		// neutral, so the clamp lands checkpoints exactly on their cadence);
 		// Step handles probe cadence itself, and the chunk loop re-checks
-		// stability per changed step.
+		// stability per changed step. While a perturbation is live the
+		// checkpoint clamp is skipped: unit boundaries are the perturbation's
+		// span grid, and moving them onto the checkpoint cadence would change
+		// the Binomial(span) draw sequence — a checkpointing run would no
+		// longer replay a plain run. Checkpoints then fire at the next grid
+		// boundary instead, overshooting their cadence by less than one
+		// pertCadence unit.
 		l = max(remaining, 1)
-		if cb := e.ckpt.boundary(); cb != noProbe && cb > e.step {
+		if cb := e.ckpt.boundary(); cb != noProbe && cb > e.step && !e.pert.live(e.step) {
 			if room := cb - e.step; l > room {
 				l = room
 			}
 		}
-		return l, true
+		return e.pert.clampUnit(e.step, l, pertCadence(e.n)), true
 	case BatchFixed:
 		l = p.Len
 	case BatchAdaptive:
@@ -587,7 +648,7 @@ func (e *CountsEngine[S]) nextAdvance(remaining uint64) (uint64, bool) {
 			// Drift bound below the floor: step exactly for one floor-sized
 			// chunk (measuring drift over it, so the controller can grow
 			// back into the batched regime).
-			return min(max(adaptiveFloor, 1), max(remaining, 1)), true
+			return e.pert.clampUnit(e.step, min(max(adaptiveFloor, 1), max(remaining, 1)), pertCadence(e.n)), true
 		}
 	}
 	if lim := uint64(e.n) / 2; l > lim {
@@ -603,6 +664,15 @@ func (e *CountsEngine[S]) nextAdvance(remaining uint64) (uint64, bool) {
 			l = room
 		}
 	}
+	if e.pert.bias != nil {
+		// Biased batches deplete their pool by rejection against the
+		// batch-start counts (see sampleBatchBiased); cap the batch at n/3
+		// so the acceptance rate stays above 1/3.
+		if lim := uint64(e.n) / 3; l > lim {
+			l = lim
+		}
+	}
+	l = e.pert.clampUnit(e.step, l, pertCadence(e.n))
 	if l < 1 {
 		l = 1
 	}
@@ -644,6 +714,108 @@ func (e *CountsEngine[S]) EffectiveWorkers() int {
 		return 1
 	}
 	return e.effWorkers
+}
+
+// SetPerturbation implements Perturbable: p is applied at batch and
+// exact-chunk boundaries, the counts backend's scheduling units (the
+// checkpoint hook discipline — the batch sampling law inside a unit is
+// untouched). Must be called before Run, and before Restore when resuming
+// a perturbed checkpoint; nil detaches.
+func (e *CountsEngine[S]) SetPerturbation(p Perturbation) error {
+	if p == nil {
+		e.pert = pertState{}
+		return nil
+	}
+	if err := e.pert.attach(p, e.src, e.proto.NumClasses()); err != nil {
+		return err
+	}
+	e.pertTgt = countsTarget[S]{e}
+	return nil
+}
+
+// maybePerturb applies the attached perturbation for the scheduling unit
+// that just ended. It runs before maybeCheckpoint at every unit boundary,
+// so snapshots capture the post-perturbation census at their step.
+func (e *CountsEngine[S]) maybePerturb() {
+	if e.pert.active() {
+		e.pert.apply(e.pertTgt, e.step)
+	}
+}
+
+// scrambleStates returns the protocol's state enumeration, built lazily —
+// the scramble target draws uniform replacement states from it.
+func (e *CountsEngine[S]) scrambleStates() []S {
+	if e.enumStates == nil {
+		e.enumStates = e.proto.States()
+	}
+	return e.enumStates
+}
+
+// countsTarget adapts the counts engine to PerturbTarget. Uniform agent
+// choice over an anonymous census is a multivariate hypergeometric row
+// draw over the occupied states — the same without-replacement law the
+// dense target realizes agent by agent. It must only be used at unit
+// boundaries (never mid-batch: bump commits immediately, staged diffs are
+// relative to the batch-start census).
+type countsTarget[S comparable] struct{ e *CountsEngine[S] }
+
+func (t countsTarget[S]) LiveN() int { return t.e.n }
+
+func (t countsTarget[S]) RemoveUniform(src *rng.Source, k int64) {
+	e := t.e
+	if k > int64(e.n) {
+		k = int64(e.n)
+	}
+	if k <= 0 {
+		return
+	}
+	ids := append([]int32(nil), e.active...)
+	rows := make([]int64, len(ids))
+	for i, id := range ids {
+		rows[i] = e.pop[id]
+	}
+	alloc := make([]int64, len(ids))
+	src.MultiHypergeometric(alloc, rows, k)
+	for i, id := range ids {
+		if alloc[i] > 0 {
+			e.bump(id, -alloc[i])
+		}
+	}
+	e.n -= int(k)
+}
+
+func (t countsTarget[S]) AddAgents(src *rng.Source, k int64) {
+	e := t.e
+	for j := int64(0); j < k; j++ {
+		e.censusAdd(e.proto.Init(int(src.Uintn(uint64(e.n0)))), 1)
+	}
+	e.n += int(k)
+}
+
+func (t countsTarget[S]) ScrambleUniform(src *rng.Source, k int64) {
+	e := t.e
+	if k > int64(e.n) {
+		k = int64(e.n)
+	}
+	if k <= 0 {
+		return
+	}
+	ids := append([]int32(nil), e.active...)
+	rows := make([]int64, len(ids))
+	for i, id := range ids {
+		rows[i] = e.pop[id]
+	}
+	alloc := make([]int64, len(ids))
+	src.MultiHypergeometric(alloc, rows, k)
+	for i, id := range ids {
+		if alloc[i] > 0 {
+			e.bump(id, -alloc[i])
+		}
+	}
+	sts := e.scrambleStates()
+	for j := int64(0); j < k; j++ {
+		e.censusAdd(sts[src.Uintn(uint64(len(sts)))], 1)
+	}
 }
 
 // censusAdd moves k agents into (k > 0) or out of (k < 0) state s,
@@ -838,7 +1010,9 @@ func (e *CountsEngine[S]) runBatch(l uint64) {
 	})
 	e.occ = occ
 
-	if w := e.batchShards(l, len(occ)); w > 1 {
+	if e.pert.bias != nil {
+		e.sampleBatchBiased(l)
+	} else if w := e.batchShards(l, len(occ)); w > 1 {
 		if w > e.effWorkers {
 			e.effWorkers = w
 		}
@@ -968,6 +1142,47 @@ func (e *CountsEngine[S]) sampleBatchSerial(l uint64) {
 	}
 }
 
+// sampleBatchBiased draws one batch of l interactions under a bias
+// perturbation: each interaction's responder and initiator are drawn in
+// sequence from an alias table over count×weight built at batch start,
+// with rejection correcting for pool depletion (accept pool/start — the
+// class weight cancels). Sequential weighted sampling without replacement
+// over 2·l distinct agents is the biased batch law; with all-equal
+// weights it reduces to the unbiased batch law (a uniformly random
+// ordered 2l-tuple of distinct agents, whose responder set follows the
+// same MVH split the aggregated path realizes). nextAdvance caps biased
+// batches at n/3 interactions so the acceptance rate stays above 1/3;
+// the path is serial — per-interaction role draws cannot reuse the shard
+// fan-out's aggregated chains.
+func (e *CountsEngine[S]) sampleBatchBiased(l uint64) {
+	occ := e.occ
+	start := ensureLen(&e.poolInit, len(occ))
+	pool := ensureLen(&e.pool, len(occ))
+	w := ensureLen(&e.biasW, len(occ))
+	for j, id := range occ {
+		start[j] = e.pop[id]
+		pool[j] = start[j]
+		w[j] = float64(start[j]) * e.pert.bias[e.classOf[id]]
+	}
+	tab := rng.MustAlias(w)
+	draw := func() int {
+		for {
+			j := tab.Sample(e.src)
+			if pool[j] > 0 && float64(start[j])*e.src.Float64() < float64(pool[j]) {
+				return j
+			}
+		}
+	}
+	for t := uint64(0); t < l; t++ {
+		a := draw()
+		pool[a]--
+		b := draw()
+		pool[b]--
+		a2, b2 := e.deltaIDs(occ[a], occ[b])
+		e.stage(occ[a], occ[b], a2, b2, 1)
+	}
+}
+
 // aliasHeadroom inflates the cached alias weights over the pool they are
 // built from. The rejection acceptance pool[b]/aliasW[b] is exact for any
 // aliasW[b] ≥ pool[b], so the inflated cache stays valid across batches
@@ -1038,17 +1253,27 @@ func (e *CountsEngine[S]) Run() Result {
 	if budget == 0 {
 		budget = DefaultBudget(e.n)
 	}
-	converged := e.proto.Stable(e.classCounts)
+	converged := e.proto.Stable(e.classCounts) && e.pert.canConverge(e.step)
 	for !converged && e.step < budget {
 		l, exact := e.nextAdvance(budget - e.step)
 		if exact || e.n < 4 {
-			converged = e.exactChunk(l, true)
+			// Early-stop at exact stabilization only once the perturbation
+			// is quiescent (it cannot mutate past that point, so the
+			// chunk-start check suffices).
+			converged = e.exactChunk(l, e.pert.canConverge(e.step))
 		} else {
 			e.runBatch(l)
 			if e.probes.due(e.step) {
 				e.fireProbes()
 			}
 			converged = e.proto.Stable(e.classCounts)
+		}
+		if e.pert.active() {
+			e.maybePerturb()
+			// The perturbation may have stabilized or destabilized the
+			// census; re-evaluate against the post-perturbation state, and
+			// never converge while it can still mutate.
+			converged = e.pert.canConverge(e.step) && e.proto.Stable(e.classCounts)
 		}
 		e.maybeCheckpoint()
 	}
@@ -1074,9 +1299,10 @@ func (e *CountsEngine[S]) RunSteps(k uint64) Result {
 				e.fireProbes()
 			}
 		}
+		e.maybePerturb()
 		e.maybeCheckpoint()
 	}
-	return e.result(e.proto.Stable(e.classCounts))
+	return e.result(e.proto.Stable(e.classCounts) && e.pert.canConverge(e.step))
 }
 
 func (e *CountsEngine[S]) result(converged bool) Result {

@@ -1,0 +1,98 @@
+package sim_test
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+
+	"popelect/internal/protocols/gs18"
+	"popelect/internal/rng"
+	"popelect/internal/sim"
+)
+
+// traceHash fingerprints one engine trajectory: every census probe sample
+// (step, leaders, occupied states, full class census) plus the final
+// Result. Two runs produce the same hash iff they consumed the scheduler's
+// randomness identically and applied the same transitions — a trajectory
+// byte-identity check that does not depend on the checkpoint wire format.
+func traceHash(t *testing.T, eng sim.Engine, every uint64) string {
+	t.Helper()
+	h := fnv.New64a()
+	if err := sim.AddProbe[uint32](eng, func(step uint64, v sim.CensusView[uint32]) {
+		fmt.Fprintf(h, "s%d l%d o%d c%v;", step, v.Leaders(), v.Occupied(), v.Classes())
+	}, every); err != nil {
+		t.Fatal(err)
+	}
+	res := eng.Run()
+	fmt.Fprintf(h, "F conv%v i%d l%d c%v", res.Converged, res.Interactions, res.Leaders, res.Counts)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// TestNilPerturbationTraceGolden pins the perturbation-free code paths to
+// the exact trajectories the engines produced before the scenario layer
+// existed: the golden hashes below were recorded on the pre-perturbation
+// tree, so any refactor that changes how an unperturbed engine consumes
+// randomness or applies transitions — on any of the five engine
+// configurations — fails this test. Attaching no perturbation must be a
+// true no-op.
+func TestNilPerturbationTraceGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		want string
+		make func(t *testing.T) (sim.Engine, uint64)
+	}{
+		{
+			name: "dense",
+			want: "41b51bf4fe689ffd",
+			make: func(t *testing.T) (sim.Engine, uint64) {
+				pr := gs18.MustNew(gs18.DefaultParams(3000))
+				return sim.NewRunner[uint32, *gs18.Protocol](pr, rng.New(11)), 1500
+			},
+		},
+		{
+			name: "counts-exact",
+			want: "98b6ca1e35bc1a5d",
+			make: func(t *testing.T) (sim.Engine, uint64) {
+				pr := gs18.MustNew(gs18.DefaultParams(3000))
+				return sim.NewCountsEngine[uint32](pr, rng.New(12)), 1500
+			},
+		},
+		{
+			name: "counts-adaptive",
+			want: "ec5c4648f611d00b",
+			make: func(t *testing.T) (sim.Engine, uint64) {
+				pr := gs18.MustNew(gs18.DefaultParams(3000))
+				e := sim.NewCountsEngine[uint32](pr, rng.New(13))
+				e.SetBatchPolicy(sim.BatchPolicy{Mode: sim.BatchAdaptive})
+				return e, 1500
+			},
+		},
+		{
+			name: "counts-fixed-w4",
+			want: "4e81b915a94cf090",
+			make: func(t *testing.T) (sim.Engine, uint64) {
+				pr := gs18.MustNew(gs18.DefaultParams(20000))
+				e := sim.NewCountsEngine[uint32](pr, rng.New(14))
+				e.SetBatchPolicy(sim.BatchPolicy{Mode: sim.BatchFixed})
+				e.SetWorkers(4)
+				return e, 10000
+			},
+		},
+		{
+			name: "sharded-k3",
+			want: "7fa75ba21a43868f",
+			make: func(t *testing.T) (sim.Engine, uint64) {
+				pr := gs18.MustNew(gs18.DefaultParams(20000))
+				return sim.NewShardedCountsEngine[uint32](pr, rng.New(15), 3), 10000
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			eng, every := tc.make(t)
+			if got := traceHash(t, eng, every); got != tc.want {
+				t.Fatalf("trajectory hash %s, golden %s — the nil-perturbation fast path drifted from pre-scenario main", got, tc.want)
+			}
+		})
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+
+	"popelect/internal/rng"
 )
 
 // Hook observes a single applied interaction. step is the 1-based step
@@ -42,7 +44,9 @@ type Runner[S comparable, P Protocol[S]] struct {
 	delta func(r, i S) (S, S)
 	rng   PairSource
 	pop   []S
-	n     int
+	// n is the live population size; n0 the initial size. They differ only
+	// under churn perturbations.
+	n, n0 int
 
 	counts  []int64
 	leaders int
@@ -77,6 +81,16 @@ type Runner[S comparable, P Protocol[S]] struct {
 	// the lazily built state → States()-index map of the snapshot codec.
 	ckpt    ckptState
 	enumIdx map[S]int32
+
+	// pert is the attached scenario perturbation (see SetPerturbation),
+	// applied after every step — the dense backend's scheduling unit.
+	// schedSrc is r.rng as a concrete *rng.Source (required for bias
+	// rejection sampling), pertTgt the cached mutation adapter, and
+	// enumStates the protocol's state enumeration for scrambles.
+	pert       pertState
+	schedSrc   *rng.Source
+	pertTgt    PerturbTarget
+	enumStates []S
 }
 
 // NewRunner creates a runner for proto using the given pair source
@@ -91,6 +105,7 @@ func NewRunner[S comparable, P Protocol[S]](proto P, src PairSource) *Runner[S, 
 		delta:      proto.Delta,
 		rng:        src,
 		n:          n,
+		n0:         n,
 		CheckEvery: 1,
 	}
 	if dc, ok := any(proto).(DeltaCompiler[S]); ok {
@@ -105,8 +120,11 @@ func NewRunner[S comparable, P Protocol[S]](proto P, src PairSource) *Runner[S, 
 // Reset reinitializes the population to the protocol's initial
 // configuration, clearing all counters. The PRNG is not reseeded.
 func (r *Runner[S, P]) Reset() {
-	if r.pop == nil {
+	r.n = r.n0
+	if cap(r.pop) < r.n {
 		r.pop = make([]S, r.n)
+	} else {
+		r.pop = r.pop[:r.n]
 	}
 	nc := r.proto.NumClasses()
 	if r.counts == nil {
@@ -137,6 +155,35 @@ func (r *Runner[S, P]) Reset() {
 	}
 	r.probes.rebase(0)
 	r.ckpt.rebase(0)
+	r.pert.prev = 0
+}
+
+// SetPerturbation implements Perturbable: p is applied after every
+// interaction, the dense backend's scheduling-unit boundary. It requires
+// the runner's pair source to be an *rng.Source (the perturbation stream
+// is split off it without advancing it, and bias needs its Float64) and
+// the protocol to be Enumerable (scrambles draw from the enumeration).
+// Must be called before Run; nil detaches.
+func (r *Runner[S, P]) SetPerturbation(p Perturbation) error {
+	if p == nil {
+		r.pert = pertState{}
+		return nil
+	}
+	src, ok := r.rng.(*rng.Source)
+	if !ok {
+		return fmt.Errorf("sim: perturbations need an *rng.Source pair source, have %T", r.rng)
+	}
+	en, ok := any(r.proto).(Enumerable[S])
+	if !ok {
+		return fmt.Errorf("sim: perturbations need an enumerable protocol")
+	}
+	if err := r.pert.attach(p, src, r.proto.NumClasses()); err != nil {
+		return err
+	}
+	r.schedSrc = src
+	r.enumStates = en.States()
+	r.pertTgt = denseTarget[S, P]{r}
+	return nil
 }
 
 // buildCensus aggregates a population slice into a state→count map.
@@ -270,7 +317,12 @@ func satMul(a, b uint64) uint64 {
 // Step executes exactly one interaction and returns whether the
 // configuration changed.
 func (r *Runner[S, P]) Step() bool {
-	ri, ii := r.rng.Pair(r.n)
+	var ri, ii int
+	if r.pert.bias != nil {
+		ri, ii = r.biasedPair()
+	} else {
+		ri, ii = r.rng.Pair(r.n)
+	}
 	oldR, oldI := r.pop[ri], r.pop[ii]
 	newR, newI := r.delta(oldR, oldI)
 	r.step++
@@ -290,6 +342,104 @@ func (r *Runner[S, P]) Step() bool {
 		r.fireProbes()
 	}
 	return changed
+}
+
+// biasedPair draws an ordered (responder, initiator) pair under the
+// attached bias: each role is selected proportionally to its state's class
+// weight, by rejection sampling against the maximum weight on the
+// scheduler stream. The initiator is conditioned to differ from the
+// responder, matching the uniform scheduler's distinct-pair law.
+func (r *Runner[S, P]) biasedPair() (int, int) {
+	ri := r.biasedIndex(-1)
+	return ri, r.biasedIndex(ri)
+}
+
+func (r *Runner[S, P]) biasedIndex(exclude int) int {
+	for {
+		i := int(r.schedSrc.Uintn(uint64(r.n)))
+		if i == exclude {
+			continue
+		}
+		w := r.pert.bias[r.proto.Class(r.pop[i])]
+		if w == r.pert.biasMax || r.schedSrc.Float64()*r.pert.biasMax < w {
+			return i
+		}
+	}
+}
+
+// denseTarget adapts the dense runner to PerturbTarget, keeping the class
+// census, leader count, incremental state census and distinct-state
+// tracker consistent through population mutations. Perturbation events do
+// not fire interaction hooks.
+type denseTarget[S comparable, P Protocol[S]] struct{ r *Runner[S, P] }
+
+func (t denseTarget[S, P]) LiveN() int { return t.r.n }
+
+// RemoveUniform removes k agents one at a time, each uniform over the
+// remainder — exactly the without-replacement law of the counts backend's
+// MVH row draw. Swap-removal is fine: agent identity carries no state.
+func (t denseTarget[S, P]) RemoveUniform(src *rng.Source, k int64) {
+	r := t.r
+	for j := int64(0); j < k && r.n > 0; j++ {
+		i := int(src.Uintn(uint64(r.n)))
+		s := r.pop[i]
+		r.counts[r.proto.Class(s)]--
+		if r.proto.Leader(s) {
+			r.leaders--
+		}
+		if r.censusOn {
+			if c := r.stateCensus[s] - 1; c == 0 {
+				delete(r.stateCensus, s)
+			} else {
+				r.stateCensus[s] = c
+			}
+		}
+		r.n--
+		r.pop[i] = r.pop[r.n]
+		r.pop = r.pop[:r.n]
+	}
+}
+
+func (t denseTarget[S, P]) AddAgents(src *rng.Source, k int64) {
+	r := t.r
+	for j := int64(0); j < k; j++ {
+		s := r.proto.Init(int(src.Uintn(uint64(r.n0))))
+		r.pop = append(r.pop, s)
+		r.n++
+		r.counts[r.proto.Class(s)]++
+		if r.proto.Leader(s) {
+			r.leaders++
+		}
+		if r.censusOn {
+			r.stateCensus[s]++
+		}
+		if r.TrackStates {
+			r.ensureSeen()
+			r.seen[s] = struct{}{}
+		}
+	}
+}
+
+// ScrambleUniform picks k distinct agents by rejection against a seen-set
+// (the without-replacement law again) and replaces each state by a uniform
+// draw from the protocol's enumeration.
+func (t denseTarget[S, P]) ScrambleUniform(src *rng.Source, k int64) {
+	r := t.r
+	if k > int64(r.n) {
+		k = int64(r.n)
+	}
+	picked := make(map[int]struct{}, k)
+	for int64(len(picked)) < k {
+		i := int(src.Uintn(uint64(r.n)))
+		if _, dup := picked[i]; dup {
+			continue
+		}
+		picked[i] = struct{}{}
+		ns := r.enumStates[src.Uintn(uint64(len(r.enumStates)))]
+		if ns != r.pop[i] {
+			r.apply(i, r.pop[i], ns)
+		}
+	}
 }
 
 func (r *Runner[S, P]) apply(idx int, old, new S) {
@@ -340,10 +490,16 @@ func (r *Runner[S, P]) Run() Result {
 	if check == 0 {
 		check = 1
 	}
-	converged := r.proto.Stable(r.counts)
+	converged := r.proto.Stable(r.counts) && r.pert.canConverge(r.step)
 	for !converged && r.step < budget {
 		changed := r.Step()
-		if changed && (check == 1 || r.step%check == 0) {
+		if r.pert.active() {
+			r.pert.apply(r.pertTgt, r.step)
+			// The perturbation may stabilize (or destabilize) the census
+			// without a changed step, so re-check unconditionally — and
+			// never declare convergence while it can still mutate.
+			converged = r.pert.canConverge(r.step) && r.proto.Stable(r.counts)
+		} else if changed && (check == 1 || r.step%check == 0) {
 			converged = r.proto.Stable(r.counts)
 		}
 		if r.ckpt.due(r.step) {
@@ -353,7 +509,7 @@ func (r *Runner[S, P]) Run() Result {
 	// A final stability check in case the last step crossed the predicate
 	// between check intervals.
 	if !converged {
-		converged = r.proto.Stable(r.counts)
+		converged = r.proto.Stable(r.counts) && r.pert.canConverge(r.step)
 	}
 	if !r.probes.empty() {
 		r.probes.fireFinal(r.step, &denseView[S, P]{r: r, step: r.step})
@@ -368,11 +524,14 @@ func (r *Runner[S, P]) Run() Result {
 func (r *Runner[S, P]) RunSteps(k uint64) Result {
 	for i := uint64(0); i < k; i++ {
 		r.Step()
+		if r.pert.active() {
+			r.pert.apply(r.pertTgt, r.step)
+		}
 		if r.ckpt.due(r.step) {
 			r.ckpt.fire(r.step, r.Snapshot)
 		}
 	}
-	return r.result(r.proto.Stable(r.counts))
+	return r.result(r.proto.Stable(r.counts) && r.pert.canConverge(r.step))
 }
 
 func (r *Runner[S, P]) result(converged bool) Result {

@@ -59,7 +59,9 @@ import (
 type ShardedCountsEngine[S comparable] struct {
 	proto Enumerable[S]
 	src   *rng.Source
-	n     int
+	// n is the live population size; n0 the initial size. They differ only
+	// under churn perturbations (which also let the per-shard sizes drift).
+	n, n0 int
 
 	// MaxInteractions bounds Run; 0 means DefaultBudget(n).
 	MaxInteractions uint64
@@ -107,6 +109,12 @@ type ShardedCountsEngine[S comparable] struct {
 
 	// ckpt schedules periodic checkpoints (see SetCheckpoint).
 	ckpt ckptState
+
+	// pert is the attached scenario perturbation (see SetPerturbation),
+	// applied at advance-unit boundaries — the same call sites as
+	// maybeCheckpoint; pertTgt the cached cross-shard mutation adapter.
+	pert    pertState
+	pertTgt PerturbTarget
 }
 
 // DefaultMigrationRate is the fidelity-mode migration probability: at every
@@ -177,6 +185,7 @@ func NewShardedCountsEngine[S comparable](proto Enumerable[S], src *rng.Source, 
 		proto:     proto,
 		src:       src,
 		n:         n,
+		n0:        n,
 		Migration: DefaultMigrationRate,
 		EpochLen:  DefaultShardEpoch(n),
 		subs:      make([]*CountsEngine[S], shards),
@@ -199,9 +208,12 @@ func NewShardedCountsEngine[S comparable](proto Enumerable[S], src *rng.Source, 
 // Reset reinitializes every sub-census to the protocol's initial
 // configuration (PRNG streams are not reseeded, matching CountsEngine).
 func (e *ShardedCountsEngine[S]) Reset() {
-	for _, sub := range e.subs {
+	e.n = e.n0
+	for k, sub := range e.subs {
 		sub.Reset()
+		e.sizes[k] = int64(sub.n0)
 	}
+	e.pert.prev = 0
 	e.step = 0
 	e.sinceMig = 0
 	e.rr = 0
@@ -355,6 +367,122 @@ func (e *ShardedCountsEngine[S]) aggregateClasses() []int64 {
 	return agg
 }
 
+// SetPerturbation implements Perturbable: p is applied at advance-unit
+// boundaries (the same call sites as the checkpoint hook — at most one
+// epoch, and at most pertCadence interactions, apart). Bias perturbations
+// are rejected: a standing class reweighting would have to reweight every
+// shard's aggregated batch chains, which the clustered scheduler does not
+// model — run bias scenarios on the dense or counts backend. Must be
+// called before Run (and before Restore); nil detaches.
+func (e *ShardedCountsEngine[S]) SetPerturbation(p Perturbation) error {
+	if p == nil {
+		e.pert = pertState{}
+		return nil
+	}
+	if p.ClassWeights() != nil {
+		return fmt.Errorf("sim: bias perturbations are not supported on the sharded backend")
+	}
+	if err := e.pert.attach(p, e.src, e.proto.NumClasses()); err != nil {
+		return err
+	}
+	e.pertTgt = shardedTarget[S]{e}
+	return nil
+}
+
+// maybePerturb applies the attached perturbation for the scheduling unit
+// that just ended (before maybeCheckpoint, so snapshots capture the
+// post-perturbation census at their step).
+func (e *ShardedCountsEngine[S]) maybePerturb() {
+	if e.pert.active() {
+		e.pert.apply(e.pertTgt, e.step)
+	}
+}
+
+// shardedTarget adapts the sharded engine to PerturbTarget: every mutation
+// is split across the shards on the parent stream in fixed shard order
+// (the migration exchange's determinism discipline) and delegated to the
+// sub-censuses through their own countsTarget adapters, keeping e.sizes
+// and every sub-census structure consistent. Shard sizes stop being
+// invariant under churn; the proportional epoch allocation, the Step
+// shard draw and the migration binomials all read the live sizes.
+type shardedTarget[S comparable] struct{ e *ShardedCountsEngine[S] }
+
+func (t shardedTarget[S]) LiveN() int { return t.e.n }
+
+// RemoveUniform splits the k departures over the shards with an MVH draw
+// on per-shard capacities of size−2 — no shard is ever drained below one
+// interacting pair, a bias of O(K/n) against the uniform law.
+func (t shardedTarget[S]) RemoveUniform(src *rng.Source, k int64) {
+	e := t.e
+	caps := make([]int64, len(e.subs))
+	total := int64(0)
+	for i, sz := range e.sizes {
+		c := sz - 2
+		if c < 0 {
+			c = 0
+		}
+		caps[i] = c
+		total += c
+	}
+	if k > total {
+		k = total
+	}
+	if k <= 0 {
+		return
+	}
+	alloc := make([]int64, len(caps))
+	src.MultiHypergeometric(alloc, caps, k)
+	for i, a := range alloc {
+		if a == 0 {
+			continue
+		}
+		countsTarget[S]{e.subs[i]}.RemoveUniform(src, a)
+		e.sizes[i] -= a
+	}
+	e.n -= int(k)
+	e.mergedOK = false
+}
+
+// AddAgents splits the k joiners over the shards proportionally to live
+// shard size (a binomial multinomial chain on the parent stream); each
+// joiner then enters its shard's original agent-index block, so seeded
+// initial-state assignments stay block-consistent.
+func (t shardedTarget[S]) AddAgents(src *rng.Source, k int64) {
+	e := t.e
+	remK, remTotal := k, int64(e.n)
+	for i := range e.subs {
+		sz := e.sizes[i]
+		var ki int64
+		switch {
+		case i == len(e.subs)-1 || remTotal == sz:
+			ki = remK
+		case remK > 0 && remTotal > 0:
+			ki = src.Binomial(remK, float64(sz)/float64(remTotal))
+		}
+		remTotal -= sz
+		if ki > 0 {
+			countsTarget[S]{e.subs[i]}.AddAgents(src, ki)
+			e.sizes[i] += ki
+			remK -= ki
+		}
+	}
+	e.n += int(k)
+	e.mergedOK = false
+}
+
+func (t shardedTarget[S]) ScrambleUniform(src *rng.Source, k int64) {
+	e := t.e
+	rows := append([]int64(nil), e.sizes...)
+	alloc := make([]int64, len(rows))
+	src.MultiHypergeometric(alloc, rows, k)
+	for i, a := range alloc {
+		if a > 0 {
+			countsTarget[S]{e.subs[i]}.ScrambleUniform(src, a)
+		}
+	}
+	e.mergedOK = false
+}
+
 // epochLen returns the effective epoch length (guarding a zeroed field).
 func (e *ShardedCountsEngine[S]) epochLen() uint64 {
 	if e.EpochLen > 0 {
@@ -385,6 +513,7 @@ func (e *ShardedCountsEngine[S]) advance(remaining uint64) {
 			l = room
 		}
 	}
+	l = e.pert.clampUnit(e.step, l, pertCadence(e.n))
 	if l < 1 {
 		l = 1
 	}
@@ -539,6 +668,7 @@ func (e *ShardedCountsEngine[S]) Step() bool {
 	e.step++
 	e.sinceMig++
 	e.mergedOK = false
+	e.maybePerturb()
 	if e.probes.due(e.step) {
 		e.fireProbes()
 	}
@@ -555,11 +685,12 @@ func (e *ShardedCountsEngine[S]) Run() Result {
 	if budget == 0 {
 		budget = DefaultBudget(e.n)
 	}
-	converged := e.proto.Stable(e.aggregateClasses())
+	converged := e.proto.Stable(e.aggregateClasses()) && e.pert.canConverge(e.step)
 	for !converged && e.step < budget {
 		e.advance(budget - e.step)
+		e.maybePerturb()
 		e.maybeCheckpoint()
-		converged = e.proto.Stable(e.aggregateClasses())
+		converged = e.proto.Stable(e.aggregateClasses()) && e.pert.canConverge(e.step)
 	}
 	if !e.probes.empty() {
 		e.probes.fireFinal(e.step, shardedView[S]{e: e, step: e.step})
@@ -573,9 +704,10 @@ func (e *ShardedCountsEngine[S]) RunSteps(k uint64) Result {
 	end := e.step + k
 	for e.step < end {
 		e.advance(end - e.step)
+		e.maybePerturb()
 		e.maybeCheckpoint()
 	}
-	return e.result(e.proto.Stable(e.aggregateClasses()))
+	return e.result(e.proto.Stable(e.aggregateClasses()) && e.pert.canConverge(e.step))
 }
 
 func (e *ShardedCountsEngine[S]) result(converged bool) Result {

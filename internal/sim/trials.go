@@ -71,6 +71,13 @@ type TrialConfig struct {
 	// (0 = DefaultShardEpoch). Ignored when Shards < 2.
 	ShardEpoch uint64
 
+	// Perturb attaches a perturbation (churn, corruption, scheduler bias —
+	// see Perturbation and Combine) to every trial's engine before it runs.
+	// Attachment constraints are backend-specific and surface as errors: the
+	// dense backend needs an Enumerable protocol, the sharded backend
+	// rejects bias weights. Nil runs unperturbed on the historical path.
+	Perturb Perturbation
+
 	// CheckpointEvery > 0 snapshots each trial's engine about every that
 	// many interactions (at the next scheduling-unit boundary; see
 	// Checkpointable.SetCheckpoint) into CheckpointDir, one file per trial
@@ -181,6 +188,20 @@ func RunTrialsProbed[S comparable, P Protocol[S]](factory func(trial int) P, cfg
 			for t := range jobs {
 				src := rng.NewStream(cfg.Seed, uint64(t))
 				eng := newTrialEngine[S, P](factory(t), src, cfg)
+				if cfg.Perturb != nil {
+					// Attach before any Restore below: perturbed
+					// checkpoints require the perturbation to already be
+					// in place (see Perturbable).
+					pe, ok := eng.(Perturbable)
+					if !ok {
+						recordErr(fmt.Errorf("sim: engine %T does not support perturbations", eng))
+						continue
+					}
+					if err := pe.SetPerturbation(cfg.Perturb); err != nil {
+						recordErr(fmt.Errorf("sim: trial %d: %w", t, err))
+						continue
+					}
+				}
 				for _, tp := range probes {
 					if tp.Make == nil {
 						continue

@@ -125,6 +125,11 @@ type options struct {
 	ckptPath      string
 	ckptEvery     uint64
 	resumePath    string
+	perturbs      []sim.Perturbation
+	churnSpec     string
+	corruptSpec   string
+	biasSpec      string
+	specsSet      bool
 }
 
 // Option configures a run.
@@ -238,6 +243,58 @@ func WithResume(path string) Option {
 	return func(o *options) { o.resumePath = path }
 }
 
+// WithChurn subjects the run to population churn: agents leave uniformly
+// at random at expected rate leave per interaction, and fresh agents join
+// in a random initial state at expected rate join, so the population size
+// becomes time-varying. Result.Leaders and stabilization refer to the live
+// population at the end. Works on every backend; the dense backend
+// additionally requires an enumerable protocol.
+func WithChurn(leave, join float64) Option {
+	return func(o *options) {
+		o.perturbs = append(o.perturbs, sim.Churn{LeaveRate: leave, JoinRate: join})
+	}
+}
+
+// WithCorruption scrambles the states of k uniformly chosen agents to
+// uniformly random enumerated states once, at interaction step at — the
+// adversarial transient fault the self-stabilization literature recovers
+// from. Works on every backend (the counts backend draws the k agents with
+// one multivariate-hypergeometric census split).
+func WithCorruption(k int, at uint64) Option {
+	return func(o *options) {
+		o.perturbs = append(o.perturbs, sim.Corruption{K: int64(k), At: at})
+	}
+}
+
+// WithBias skews the scheduler away from uniformity: an agent in census
+// class c is chosen for an interaction with relative weight weights[c]
+// (missing classes weigh 1). Supported on the dense and counts backends;
+// the sharded backend rejects it.
+func WithBias(weights ...float64) Option {
+	return func(o *options) {
+		o.perturbs = append(o.perturbs, sim.Bias{Weights: weights})
+	}
+}
+
+// WithScenario attaches perturbations from the CLIs' compact spec strings
+// (empty specs are skipped; all empty is a no-op):
+//
+//	churn:   "RATE" or "LEAVE:JOIN", optionally "@UNTIL" (per-interaction
+//	         rates, e.g. "2.5e-3:8.3e-4@3e6")
+//	corrupt: "K@STEP" (one-shot scramble of K agents at STEP) or
+//	         "RATE[@UNTIL]" (continuous per-interaction scramble)
+//	bias:    "CLASS=WEIGHT,..." non-uniform scheduler weights per census
+//	         class (missing classes weigh 1)
+//
+// Malformed specs surface as errors from the run. The typed options
+// (WithChurn, WithCorruption, WithBias) compose with this one.
+func WithScenario(churn, corrupt, bias string) Option {
+	return func(o *options) {
+		o.churnSpec, o.corruptSpec, o.biasSpec = churn, corrupt, bias
+		o.specsSet = true
+	}
+}
+
 // Elect runs the paper's protocol on a population of n agents and returns
 // the elected leader. It is deterministic given WithSeed.
 func Elect(n int, opts ...Option) (Result, error) {
@@ -324,6 +381,27 @@ func run(inst protocols.Instance, o options) (Result, error) {
 	eng.SetBudget(o.budget)
 	if st, ok := eng.(sim.StateTracker); ok {
 		st.SetTrackStates(o.trackStates)
+	}
+	perturbs := o.perturbs
+	if o.specsSet {
+		p, err := sim.ParsePerturbations(o.churnSpec, o.corruptSpec, o.biasSpec)
+		if err != nil {
+			return Result{}, fmt.Errorf("popelect: %w", err)
+		}
+		if p != nil {
+			perturbs = append(perturbs, p)
+		}
+	}
+	if len(perturbs) > 0 {
+		pe, ok := eng.(sim.Perturbable)
+		if !ok {
+			return Result{}, fmt.Errorf("popelect: the selected engine (%T) does not support perturbations", eng)
+		}
+		// Attach before any Restore below: a checkpoint taken under a
+		// perturbation only restores into an engine carrying the same one.
+		if err := pe.SetPerturbation(sim.Combine(perturbs...)); err != nil {
+			return Result{}, fmt.Errorf("popelect: %w", err)
+		}
 	}
 	var ck sim.Checkpointable
 	if o.ckptPath != "" || o.resumePath != "" {
