@@ -497,6 +497,45 @@ func BenchmarkComposedDenseGS18(b *testing.B) {
 	}
 }
 
+// BenchmarkExactEndgame is the silent-step-skipping regression gate the
+// CI bench-smoke job executes: a fixed 20M-interaction exact-mode run of
+// the one-way epidemic at n = 2¹⁶, which converges after ~n·ln n ≈ 0.7M
+// interactions and then sits in a fully-silent endgame — exactly the
+// regime the reactive-pair layer (internal/sim/reactive.go) turns into
+// geometric skips. Pre-skip the exact path sustained ~30 Minteractions/s
+// here (reference host); with skipping the endgame is near-free, so the
+// gate demands ≥3× that. The issue that introduced the skip asked for
+// this gate on GS18, but GS18 never goes silent — its parity module
+// toggles a responder bit on every interaction, so every ordered pair
+// stays reactive forever and the skip self-gates off (measured: reactive
+// fraction 1.0000 at every decile; see bench-results/exactskip.csv) —
+// hence the epidemic workload. A drop below the floor means the skip
+// stopped engaging (e.g. the silent-run detector or the R-mass
+// maintenance broke) or the exact path regressed outright.
+func BenchmarkExactEndgame(b *testing.B) {
+	const floor = 90.0 // 3× the 29.98 Minteractions/s pre-skip exact path
+	const n = 1 << 16
+	const budget = 20_000_000
+	p, err := epidemic.New(n, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewCountsEngine[uint32](p, rng.New(uint64(i)+1))
+		// Auto policy at n < ExactMaxN resolves to BatchExact: whole-budget
+		// per-interaction chunks, the regime the skip layer targets. (A
+		// fixed Len=1 policy would instead dispatch single-step chunks,
+		// where the chunk-local silent-run detector can never engage.)
+		eng.RunSteps(budget)
+	}
+	mps := float64(b.N) * budget / b.Elapsed().Seconds() / 1e6
+	b.ReportMetric(mps, "Minteractions/s")
+	if mps < floor {
+		b.Fatalf("exact-mode epidemic endgame throughput %.1f Minteractions/s below the %.0f gate (3× pre-skip): silent-step skipping not engaging",
+			mps, floor)
+	}
+}
+
 // --- Probe overhead on the counts backend ---
 
 // benchCountsProbe runs one full GS18 election per iteration on the counts

@@ -52,6 +52,7 @@ func main() {
 		shards    = flag.Int("shards", 0, "partition the population into K sub-censuses advanced concurrently with epoch-boundary migration (≤1 = single census; requires an enumerable protocol)")
 		migration = flag.Float64("migration", -1, "sharded per-agent per-epoch migration probability λ (-1 = fidelity default, 0 = isolated shards; requires -shards ≥ 2)")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		verbose   = flag.Bool("v", false, "print a census timeline (gsu19 only; forces the dense backend)")
 		probe     = flag.Uint64("probe-interval", 0, "record a census sample (leaders, occupied states) every N interactions; works on every backend")
 		series    = flag.String("series", "", "write the recorded census timeline as CSV to this path (requires -probe-interval)")
@@ -112,6 +113,20 @@ func main() {
 			os.Exit(2)
 		}
 		defer pprof.StopCPUProfile()
+	}
+	if *memprof != "" {
+		defer func() {
+			f, err := os.Create(*memprof)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "leaderelect:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "leaderelect:", err)
+			}
+		}()
 	}
 	if *verbose && (*probe > 0 || *series != "") {
 		// The verbose path prints its own dense-only timeline and would

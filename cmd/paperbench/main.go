@@ -54,6 +54,7 @@ func main() {
 		bias      = flag.String("bias", "", "scheduler bias spec: CLASS=WEIGHT,... per census class (dense/counts only)")
 		storeDir  = flag.String("store", "", "content-addressed result store directory: trial batches already computed under the same key are reused instead of re-simulated")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
@@ -142,6 +143,20 @@ func main() {
 			os.Exit(2)
 		}
 		defer pprof.StopCPUProfile()
+	}
+	if *memprof != "" {
+		defer func() {
+			f, err := os.Create(*memprof)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "paperbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "paperbench:", err)
+			}
+		}()
 	}
 	if *gamma != 0 {
 		if err := phaseclock.Validate(*gamma); err != nil {

@@ -50,6 +50,7 @@ func main() {
 		bias      = flag.String("bias", "", "scheduler bias spec: CLASS=WEIGHT,... per census class (dense/counts only)")
 		storeDir  = flag.String("store", "", "content-addressed result store directory: sweep cells already computed under the same key (parameters, n, trials, seed, backend, policy) are reused instead of re-simulated")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
@@ -64,6 +65,20 @@ func main() {
 			os.Exit(2)
 		}
 		defer pprof.StopCPUProfile()
+	}
+	if *memprof != "" {
+		defer func() {
+			f, err := os.Create(*memprof)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sweep:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "sweep:", err)
+			}
+		}()
 	}
 
 	be, err := sim.ParseBackend(*backend)

@@ -657,6 +657,15 @@ func (e *CountsEngine[S]) countsRestore(payload []byte) error {
 	e.adaptLen = adaptLen
 	e.effWorkers = effWorkers
 	e.ckpt.rebase(e.step)
+	// Reactive-pair structures and the sorted-occ cache are derived state
+	// and deliberately not serialized: drop them and let the samplers
+	// rebuild from the restored census. Rebuilds are pure functions of
+	// census + active order (both restored above), so a resumed run
+	// reconstructs exactly what the interrupted run's caches held — see
+	// reactive.go's resume argument.
+	e.occVer = 0
+	e.occSortVer = ^uint64(0)
+	e.reactInvalidate()
 	return nil
 }
 

@@ -1,12 +1,14 @@
 package sim_test
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/binary"
 	"reflect"
 	"strings"
 	"testing"
 
+	"popelect/internal/epidemic"
 	"popelect/internal/protocols/gs18"
 	"popelect/internal/rng"
 	"popelect/internal/sim"
@@ -167,6 +169,123 @@ func TestCheckpointResumeStabilization(t *testing.T) {
 			}
 			sameResult(t, "resumed run vs plain run", re.Run(), refRes)
 		})
+	}
+}
+
+// TestCheckpointResumeSkipCell is the skip cell of the checkpoint matrix:
+// a counts-exact run of the one-way epidemic whose endgame is dominated by
+// geometric skipping (internal/sim/reactive.go), with checkpoint boundaries
+// and probes landing inside skip regions. The contract differs from the
+// plain-Step cells in one documented way: checkpoint boundaries clamp skip
+// chunks, and the post-boundary *redraw* is distribution-exact (geometric
+// memorylessness) but not byte-identical — so a checkpointing run may
+// diverge in trajectory from an unchunked run while agreeing in law.
+// Resume-equals-replay still holds exactly, with no reactive state in the
+// snapshot: a resumed engine that re-registers the same cadence reproduces
+// the original run's chunk boundaries (they are absolute cadence
+// multiples), rebuilds the skip state from the serialized census, and must
+// match the uninterrupted checkpointing run byte-for-byte — Result, probe
+// series, every subsequent checkpoint snapshot, and the final engine
+// snapshot.
+func TestCheckpointResumeSkipCell(t *testing.T) {
+	const n = 1 << 13
+	const seed = 17
+	budget := uint64(24 * n) // comfortably past the ≈ 2n·ln n ≈ 18n completion time
+	probeEvery := uint64(n / 2)
+	ckptEvery := uint64(4 * n)
+	build := func(seed uint64) *sim.CountsEngine[uint32] {
+		p, err := epidemic.New(n, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := sim.NewCountsEngine[uint32](p, rng.New(seed))
+		e.SetBudget(budget)
+		return e
+	}
+	finalSnap := func(e *sim.CountsEngine[uint32]) []byte {
+		b, err := e.Snapshot()
+		if err != nil {
+			t.Fatalf("final snapshot: %v", err)
+		}
+		return b
+	}
+
+	// Reference: the uninterrupted checkpointing run.
+	ck := build(seed)
+	var ckSeries []probeRec
+	if err := sim.AddProbe[uint32](ck, recordingProbe(&ckSeries), probeEvery); err != nil {
+		t.Fatal(err)
+	}
+	var snaps [][]byte
+	ck.SetCheckpoint(ckptEvery, func(b []byte) error {
+		snaps = append(snaps, append([]byte(nil), b...))
+		return nil
+	})
+	ckRes := ck.Run()
+	if !ckRes.Converged {
+		t.Fatalf("epidemic did not complete within %d interactions: %+v", budget, ckRes)
+	}
+	// One-way epidemic completion is ≈ 2n·ln n ≈ 18n here, so cadence 4n
+	// puts the middle snapshot deep in the endgame, where the handful of
+	// remaining susceptibles make nearly every step silent and the walker
+	// advances by geometric skips.
+	if len(snaps) < 3 {
+		t.Fatalf("want ≥3 checkpoints before completion at %d (cadence %d), got %d",
+			ckRes.Interactions, ckptEvery, len(snaps))
+	}
+
+	// Law check only for the unchunked run: same convergence, similar
+	// magnitude (the trajectories legitimately differ once a skip is
+	// redrawn at a checkpoint boundary; TestSkipStabilizationKS pins the
+	// distributional agreement properly).
+	plain := build(seed)
+	plainRes := plain.Run()
+	if !plainRes.Converged {
+		t.Fatalf("unchunked epidemic did not complete: %+v", plainRes)
+	}
+
+	// Kill-and-resume from the mid-run snapshot: re-register the same
+	// cadence (boundaries are absolute multiples, so the tail chunking
+	// replays), restore, and the whole tail must be byte-identical.
+	re := build(seed + 999)
+	var reSeries []probeRec
+	if err := sim.AddProbe[uint32](re, recordingProbe(&reSeries), probeEvery); err != nil {
+		t.Fatal(err)
+	}
+	mid := len(snaps) / 2
+	var reSnaps [][]byte
+	re.SetCheckpoint(ckptEvery, func(b []byte) error {
+		reSnaps = append(reSnaps, append([]byte(nil), b...))
+		return nil
+	})
+	if err := re.Restore(snaps[mid]); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	resumeStep := re.Steps()
+	if resumeStep == 0 || resumeStep >= ckRes.Interactions {
+		t.Fatalf("snapshot step %d is not mid-run (completion %d)", resumeStep, ckRes.Interactions)
+	}
+	sameResult(t, "resumed skip run vs checkpointing run", re.Run(), ckRes)
+	var wantTail []probeRec
+	for _, p := range ckSeries {
+		if p.step > resumeStep {
+			wantTail = append(wantTail, p)
+		}
+	}
+	if !reflect.DeepEqual(reSeries, wantTail) {
+		t.Fatalf("resumed probe series diverged from the checkpointing run's tail:\n got %v\nwant %v", reSeries, wantTail)
+	}
+	wantSnaps := snaps[mid+1:]
+	if len(reSnaps) != len(wantSnaps) {
+		t.Fatalf("resumed run emitted %d checkpoints after step %d, want %d", len(reSnaps), resumeStep, len(wantSnaps))
+	}
+	for i := range reSnaps {
+		if !bytes.Equal(reSnaps[i], wantSnaps[i]) {
+			t.Fatalf("checkpoint %d after resume differs byte-wise from the original run's", i)
+		}
+	}
+	if !bytes.Equal(finalSnap(re), finalSnap(ck)) {
+		t.Fatalf("final engine snapshots differ between resumed and uninterrupted runs")
 	}
 }
 

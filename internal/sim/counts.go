@@ -3,7 +3,7 @@ package sim
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"popelect/internal/rng"
 )
@@ -169,6 +169,35 @@ type CountsEngine[S comparable] struct {
 	pertTgt    PerturbTarget
 	enumStates []S
 	biasW      []float64
+
+	// DisableReactive forces the reference samplers: no silent-step
+	// skipping in exact mode and no reactive-column pruning in batches
+	// (see reactive.go). The differential law tests compare this
+	// reference against the optimized paths; it is not otherwise useful —
+	// both transformations are distribution-exact.
+	DisableReactive bool
+
+	// occVer counts occupancy transitions (states entering or leaving the
+	// active list). It versions every structure derived from the occupied
+	// *set* — the reactive layer's partner lists and column classification,
+	// and the batch path's sorted-occ cache — so they rebuild lazily
+	// exactly when membership changes.
+	occVer uint64
+	// occSortVer is the occVer the cached sorted e.occ was built against
+	// (^0 = no cache). The cached order is reused only while it is still
+	// sorted under the live census (see runBatch), which keeps the batch
+	// column order a pure function of the census — resume-equals-replay
+	// needs no serialized sort state.
+	occSortVer uint64
+	// allIDs is the exact-chunk drift measurement's all-states scratch
+	// (it must not alias e.occ: the sorted-occ cache persists across
+	// batches).
+	allIDs []int32
+
+	// react is the reactive-pair layer: silent-step skipping in exact mode
+	// and globally-silent column classification for batch pruning. See
+	// reactive.go for the structure and the maintenance law.
+	react reactState
 }
 
 // ExactMaxN is the population size below which the counts backend defaults
@@ -227,6 +256,9 @@ func (e *CountsEngine[S]) Reset() {
 	e.effWorkers = 0
 	e.n = e.n0
 	e.pert.prev = 0
+	e.occVer = 0
+	e.occSortVer = ^uint64(0)
+	e.reactInvalidate()
 	for i := 0; i < e.n; i++ {
 		id := e.indexOf(e.proto.Init(i))
 		e.pop[id]++
@@ -437,16 +469,21 @@ func (e *CountsEngine[S]) bump(id int32, d int64) {
 			e.activePos[last] = pos
 			e.active = e.active[:len(e.active)-1]
 			e.activePos[id] = -1
+			e.occVer++
 		}
 	} else if e.pop[id] == 0 {
 		e.activePos[id] = int32(len(e.active))
 		e.active = append(e.active, id)
+		e.occVer++
 	}
 	e.pop[id] = c
 	e.fen.add(id, d)
 	e.classCounts[e.classOf[id]] += d
 	if e.leaderOf[id] {
 		e.leaders += d
+	}
+	if e.react.valid {
+		e.reactUpdate(id, d)
 	}
 }
 
@@ -537,6 +574,7 @@ func (e *CountsEngine[S]) ApplyPair(responder, initiator S) bool {
 	if e.pop[a] == 0 || e.pop[b] == 0 || (a == b && e.pop[a] < 2) {
 		panic(fmt.Sprintf("sim: ApplyPair(%v, %v) without live agents", responder, initiator))
 	}
+	e.reactInvalidate()
 	e.step++
 	a2, b2 := e.deltaIDs(a, b)
 	changed := a2 != a || b2 != b
@@ -619,7 +657,11 @@ func (e *CountsEngine[S]) nextAdvance(remaining uint64) (uint64, bool) {
 	case BatchExact:
 		// Exact chunks are bounded only by the caller's budget and the
 		// checkpoint cadence (splitting a pure Step loop is trajectory-
-		// neutral, so the clamp lands checkpoints exactly on their cadence);
+		// neutral, so the clamp lands checkpoints exactly on their cadence;
+		// when silent-step skipping engages the split additionally redraws
+		// any in-flight geometric skip at the boundary — distribution-exact
+		// by memorylessness, and replayed identically on resume because
+		// boundaries are absolute cadence multiples, see reactive.go);
 		// Step handles probe cadence itself, and the chunk loop re-checks
 		// stability per changed step. While a perturbation is live the
 		// checkpoint clamp is skipped: unit boundaries are the perturbation's
@@ -722,6 +764,7 @@ func (e *CountsEngine[S]) EffectiveWorkers() int {
 // untouched). Must be called before Run, and before Restore when resuming
 // a perturbed checkpoint; nil detaches.
 func (e *CountsEngine[S]) SetPerturbation(p Perturbation) error {
+	e.reactInvalidate()
 	if p == nil {
 		e.pert = pertState{}
 		return nil
@@ -761,14 +804,20 @@ type countsTarget[S comparable] struct{ e *CountsEngine[S] }
 
 func (t countsTarget[S]) LiveN() int { return t.e.n }
 
-func (t countsTarget[S]) RemoveUniform(src *rng.Source, k int64) {
-	e := t.e
+// removeUniformMVH removes k agents chosen uniformly without replacement
+// from the census: one MultiHypergeometric row over the occupied states,
+// allocated in active-list order (the order is serialized in checkpoints,
+// so the draw replays identically across resume). Clamps k to the live
+// population; reports how many agents were actually removed. Shared by the
+// churn and scramble perturbation targets.
+func (e *CountsEngine[S]) removeUniformMVH(src *rng.Source, k int64) int64 {
 	if k > int64(e.n) {
 		k = int64(e.n)
 	}
 	if k <= 0 {
-		return
+		return 0
 	}
+	e.reactInvalidate()
 	ids := append([]int32(nil), e.active...)
 	rows := make([]int64, len(ids))
 	for i, id := range ids {
@@ -781,7 +830,12 @@ func (t countsTarget[S]) RemoveUniform(src *rng.Source, k int64) {
 			e.bump(id, -alloc[i])
 		}
 	}
-	e.n -= int(k)
+	return k
+}
+
+func (t countsTarget[S]) RemoveUniform(src *rng.Source, k int64) {
+	e := t.e
+	e.n -= int(e.removeUniformMVH(src, k))
 }
 
 func (t countsTarget[S]) AddAgents(src *rng.Source, k int64) {
@@ -794,24 +848,7 @@ func (t countsTarget[S]) AddAgents(src *rng.Source, k int64) {
 
 func (t countsTarget[S]) ScrambleUniform(src *rng.Source, k int64) {
 	e := t.e
-	if k > int64(e.n) {
-		k = int64(e.n)
-	}
-	if k <= 0 {
-		return
-	}
-	ids := append([]int32(nil), e.active...)
-	rows := make([]int64, len(ids))
-	for i, id := range ids {
-		rows[i] = e.pop[id]
-	}
-	alloc := make([]int64, len(ids))
-	src.MultiHypergeometric(alloc, rows, k)
-	for i, id := range ids {
-		if alloc[i] > 0 {
-			e.bump(id, -alloc[i])
-		}
-	}
+	k = e.removeUniformMVH(src, k)
 	sts := e.scrambleStates()
 	for j := int64(0); j < k; j++ {
 		e.censusAdd(sts[src.Uintn(uint64(len(sts)))], 1)
@@ -827,6 +864,7 @@ func (e *CountsEngine[S]) censusAdd(s S, k int64) {
 	if k == 0 {
 		return
 	}
+	e.reactInvalidate()
 	e.bump(e.indexOf(s), k)
 }
 
@@ -890,29 +928,43 @@ func (e *CountsEngine[S]) updateAdaptive(l uint64, eps float64, ids []int32, del
 // returning true. Under the adaptive policy the chunk's census drift is
 // measured against a snapshot so the controller can re-enter the batched
 // regime.
+//
+// When the chunk is eligible (no bias, population inside the int64
+// pair-mass gate, skipping not disabled), the inner loop is the
+// self-gating silent-step skip walker of reactive.go: it steps plainly
+// while interactions keep changing the census and switches to analytic
+// geometric skipping once a long run of silent steps shows the reactive
+// pair mass has collapsed. Both walkers advance e.step identically per
+// interaction and fire probes at the same boundaries; only randomness
+// consumption differs (the skip draws one geometric variate per silent
+// run instead of two uniforms per silent step).
 func (e *CountsEngine[S]) exactChunk(l uint64, checkStable bool) bool {
 	adaptive := e.adaptiveOn()
 	if adaptive {
 		e.snapPop = append(e.snapPop[:0], e.pop...)
 	}
-	converged := false
-	var done uint64
-	for done < l {
-		changed := e.Step()
-		done++
-		if changed && checkStable && e.proto.Stable(e.classCounts) {
-			converged = true
-			break
+	start := e.step
+	end := e.step + l
+	var converged bool
+	if e.skipEligible() {
+		converged = e.exactChunkSkip(end, checkStable)
+	} else {
+		for e.step < end {
+			if e.Step() && checkStable && e.proto.Stable(e.classCounts) {
+				converged = true
+				break
+			}
 		}
 	}
+	done := e.step - start
 	if adaptive {
 		snap := e.snapPop
 		eps := e.resolvedPolicy().Eps
-		ids := e.occ[:0]
+		ids := e.allIDs[:0]
 		for id := range e.pop {
 			ids = append(ids, int32(id))
 		}
-		e.occ = ids
+		e.allIDs = ids
 		e.updateAdaptive(done, eps,
 			ids,
 			func(id int32) int64 {
@@ -992,23 +1044,41 @@ func clampHyper(k, good, bad, sample int64) int64 {
 // fanning the sampling over shard goroutines when Workers permits (see
 // counts_parallel.go).
 func (e *CountsEngine[S]) runBatch(l uint64) {
+	// The skip layer's structures are exact-mode state; any batch commit
+	// would invalidate them anyway, so drop them up front and let the next
+	// exact chunk rebuild lazily.
+	e.reactInvalidate()
 	// Occupied state positions, taken from the sparse active list. occ,
 	// and every per-position slice below, is indexed by position in occ,
-	// not by state id.
-	occ := append(e.occ[:0], e.active...)
-	// Largest classes first (ties by id, so the order is independent of
-	// the active list's internal order): the pairing chains below scan
-	// columns in this order, so a row's draw budget is exhausted after the
-	// few big columns and the long tail of near-empty classes is rarely
-	// visited at all.
-	sort.Slice(occ, func(i, j int) bool {
-		pi, pj := e.pop[occ[i]], e.pop[occ[j]]
-		if pi != pj {
-			return pi > pj
-		}
-		return occ[i] < occ[j]
-	})
-	e.occ = occ
+	// not by state id. Largest classes first (ties by id, so the order is
+	// independent of the active list's internal order): the pairing chains
+	// below scan columns in this order, so a row's draw budget is
+	// exhausted after the few big columns and the long tail of near-empty
+	// classes is rarely visited at all.
+	//
+	// The sorted layout is cached across batches: while occupancy
+	// membership is unchanged (occVer) AND the cached order is still
+	// sorted under the live census, the sort (and the active-list copy)
+	// is skipped. The verification pass keeps the order a pure function
+	// of the census — a resumed run re-sorts to the identical layout a
+	// continuing run's cache holds, so resume-equals-replay needs no
+	// serialized sort state.
+	occ := e.occ
+	if e.occSortVer != e.occVer || len(occ) != len(e.active) || !e.occStillSorted() {
+		occ = append(occ[:0], e.active...)
+		slices.SortFunc(occ, func(a, b int32) int {
+			pa, pb := e.pop[a], e.pop[b]
+			if pa != pb {
+				if pa > pb {
+					return -1
+				}
+				return 1
+			}
+			return int(a) - int(b)
+		})
+		e.occ = occ
+		e.occSortVer = e.occVer
+	}
 
 	if e.pert.bias != nil {
 		e.sampleBatchBiased(l)
@@ -1042,6 +1112,22 @@ func (e *CountsEngine[S]) runBatch(l uint64) {
 	e.step += l
 }
 
+// occStillSorted reports whether the cached e.occ layout is still sorted
+// by (count descending, id ascending) under the live census — the
+// condition under which runBatch may reuse it without re-sorting. The
+// check is O(occupied) against the sort's O(occupied·log); bulk phases,
+// where counts drift slowly, pass it almost every batch.
+func (e *CountsEngine[S]) occStillSorted() bool {
+	occ := e.occ
+	for i := 1; i < len(occ); i++ {
+		pa, pb := e.pop[occ[i-1]], e.pop[occ[i]]
+		if pa < pb || (pa == pb && occ[i-1] > occ[i]) {
+			return false
+		}
+	}
+	return true
+}
+
 // sampleBatchSerial draws one batch of l interactions on the caller's
 // goroutine and stages its census deltas (the historical single-stream
 // path; Workers ≤ 1 and small batches come through here).
@@ -1072,6 +1158,29 @@ func (e *CountsEngine[S]) sampleBatchSerial(l uint64) {
 	for j, id := range occ {
 		pool[j] = e.pop[id] - resp[j]
 		poolInit[j] = pool[j]
+	}
+
+	// Reactive-column pruning (see reactive.go): when some occupied
+	// columns are globally silent — Delta(a, b) = (a, b) for every
+	// occupied responder a — their initiator pools are merged into one
+	// aggregated pseudo-column. Each row draws its silent share with a
+	// single hypergeometric and then runs its chain over the reactive
+	// columns only; grouping exchangeable categories of a multivariate
+	// hypergeometric marginalizes them exactly, and a globally silent
+	// initiator has no census effect under any row, so the joint law of
+	// the staged reactive cell counts is unchanged (pinned by the
+	// differential law test against the DisableReactive reference).
+	if !e.DisableReactive && e.gsilColumns() > 0 {
+		silentRem := int64(0)
+		for j, id := range occ {
+			if e.react.gsil[id] {
+				silentRem += pool[j]
+			}
+		}
+		if silentRem > 0 {
+			e.samplePrunedRows(resp, pool, poolTotal, silentRem)
+			return
+		}
 	}
 
 	// The alias sampler proposes from cached batch-start weights and

@@ -353,6 +353,14 @@ func (b Bias) Validate() error {
 }
 
 // Name implements Perturbation.
+//
+// Interplay with silent-step skipping (reactive.go): a live bias bypasses
+// the skip entirely — skipEligible refuses while pert.bias is set, because
+// the biased scheduler's pair law is not the uniform one the geometric
+// thinning argument assumes. Census-mutating perturbations (churn,
+// corruption) instead *invalidate* the reactive structures at their
+// boundary application (SetPerturbation and every censusAdd/removal call
+// reactInvalidate), so the skip re-engages lazily on the perturbed census.
 func (b Bias) Name() string { return "bias" }
 
 // Fingerprint implements Perturbation.
